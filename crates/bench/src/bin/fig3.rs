@@ -1,0 +1,50 @@
+//! Fig. 3 — average L1 distance over the 12 structural properties vs the
+//! percentage of queried nodes (1%–10%), for the Anybeat, Brightkite and
+//! Epinions analogues.
+//!
+//! Output: one TSV row per (dataset, percentage), columns = the six
+//! methods' average L1 distance (averaged over `--runs`).
+
+use sgr_bench::harness::{self, Args, Method};
+use sgr_gen::Dataset;
+use sgr_props::StructuralProperties;
+use sgr_util::Xoshiro256pp;
+use std::io::Write;
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.ensure_out_dir().to_path_buf();
+    let props_cfg = args.props_cfg();
+    let datasets = [Dataset::Anybeat, Dataset::Brightkite, Dataset::Epinions];
+
+    let mut file = std::fs::File::create(out_dir.join("fig3.tsv")).expect("create fig3.tsv");
+    let header = {
+        let names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
+        format!("dataset\tpct_queried\t{}", names.join("\t"))
+    };
+    println!("# Fig. 3 — average L1 distance vs %% queried (runs = {})", args.runs);
+    println!("{header}");
+    writeln!(file, "{header}").unwrap();
+
+    for ds in datasets {
+        let g = harness::analogue(ds, args.scale, args.seed);
+        let orig = StructuralProperties::compute(&g, &props_cfg);
+        for pct in 1..=10u32 {
+            let fraction = pct as f64 / 100.0;
+            let runs: Vec<_> = (0..args.runs)
+                .map(|run| {
+                    let mut rng = Xoshiro256pp::seed_from_u64(
+                        args.seed ^ (run as u64) << 32 ^ pct as u64 ^ (ds as u64) << 16,
+                    );
+                    harness::evaluate_run(&g, &orig, fraction, args.rc, &props_cfg, &mut rng)
+                })
+                .collect();
+            let avg = harness::average_runs(&runs);
+            let cells: Vec<f64> = avg.iter().map(|r| r.mean_distance()).collect();
+            let row = harness::tsv_row(&format!("{}\t{pct}", ds.name()), &cells);
+            println!("{row}");
+            writeln!(file, "{row}").unwrap();
+        }
+    }
+    eprintln!("wrote {}", out_dir.join("fig3.tsv").display());
+}

@@ -1,0 +1,56 @@
+//! Fig. 4 — graph visualizations for the Anybeat analogue: the original
+//! graph plus the output of each of the six methods at 10% queried nodes,
+//! rendered as SVGs (the offline substitute for the paper's Gephi
+//! figures).
+//!
+//! Alongside each SVG a one-line structural summary is printed, so the
+//! figure's qualitative claims can also be checked numerically: subgraph
+//! sampling misses most low-degree periphery nodes; the proposed method
+//! restores them.
+
+use sgr_bench::harness::{self, Args};
+use sgr_gen::Dataset;
+use sgr_util::Xoshiro256pp;
+use sgr_viz::write_svg;
+use std::io::Write;
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.ensure_out_dir().join("fig4");
+    std::fs::create_dir_all(&out_dir).expect("create fig4 dir");
+
+    let g = harness::analogue(Dataset::Anybeat, args.scale, args.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(args.seed ^ 0xf164);
+
+    let mut summary =
+        std::fs::File::create(out_dir.join("summary.tsv")).expect("create summary.tsv");
+    let header = "graph\tnodes\tedges\tdeg1_frac\tmax_degree";
+    println!("# Fig. 4 — visual comparison, Anybeat analogue at 10%% queried");
+    println!("{header}");
+    writeln!(summary, "{header}").unwrap();
+
+    let describe = |name: &str, graph: &sgr_graph::Graph| -> String {
+        let deg1 = graph.nodes().filter(|&u| graph.degree(u) <= 1).count();
+        format!(
+            "{name}\t{}\t{}\t{:.3}\t{}",
+            graph.num_nodes(),
+            graph.num_edges(),
+            deg1 as f64 / graph.num_nodes().max(1) as f64,
+            graph.max_degree()
+        )
+    };
+
+    write_svg(&g, out_dir.join("original.svg")).expect("render original");
+    let row = describe("original", &g);
+    println!("{row}");
+    writeln!(summary, "{row}").unwrap();
+
+    for mo in harness::run_all_methods(&g, 0.10, args.rc, &mut rng) {
+        let file = format!("{}.svg", mo.method.name().replace([' ', '.'], "_"));
+        write_svg(&mo.graph, out_dir.join(&file)).expect("render method output");
+        let row = describe(mo.method.name(), &mo.graph);
+        println!("{row}");
+        writeln!(summary, "{row}").unwrap();
+    }
+    eprintln!("wrote SVGs to {}", out_dir.display());
+}

@@ -1,0 +1,45 @@
+//! Table II — L1 distance of each of the 12 structural properties at 10%
+//! queried nodes, for the Slashdot, Gowalla and Livemocha analogues.
+//!
+//! Output: one TSV row per (dataset, method), columns = the 12 properties
+//! in the paper's order, averaged over `--runs`.
+
+use sgr_bench::harness::{self, Args};
+use sgr_gen::Dataset;
+use sgr_props::{StructuralProperties, PROPERTY_NAMES};
+use sgr_util::Xoshiro256pp;
+use std::io::Write;
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.ensure_out_dir().to_path_buf();
+    let props_cfg = args.props_cfg();
+    let datasets = [Dataset::Slashdot, Dataset::Gowalla, Dataset::Livemocha];
+
+    let mut file = std::fs::File::create(out_dir.join("table2.tsv")).expect("create table2.tsv");
+    let header = format!("dataset\tmethod\t{}", PROPERTY_NAMES.join("\t"));
+    println!("# Table II — per-property L1 at 10%% queried (runs = {})", args.runs);
+    println!("{header}");
+    writeln!(file, "{header}").unwrap();
+
+    for ds in datasets {
+        let g = harness::analogue(ds, args.scale, args.seed);
+        let orig = StructuralProperties::compute(&g, &props_cfg);
+        let runs: Vec<_> = (0..args.runs)
+            .map(|run| {
+                let mut rng =
+                    Xoshiro256pp::seed_from_u64(args.seed ^ (run as u64) << 32 ^ (ds as u64) << 8);
+                harness::evaluate_run(&g, &orig, 0.10, args.rc, &props_cfg, &mut rng)
+            })
+            .collect();
+        for r in harness::average_runs(&runs) {
+            let row = harness::tsv_row(
+                &format!("{}\t{}", ds.name(), r.method.name()),
+                &r.distances,
+            );
+            println!("{row}");
+            writeln!(file, "{row}").unwrap();
+        }
+    }
+    eprintln!("wrote {}", out_dir.join("table2.tsv").display());
+}

@@ -1,0 +1,61 @@
+//! Table IV — generation times (seconds) of the six methods at 10%
+//! queried nodes, for the six smaller dataset analogues. For the
+//! restoration methods both the total and the rewiring time are shown —
+//! the paper's headline here is that the proposed method is several times
+//! faster than Gjoka et al.'s because its rewiring candidate set excludes
+//! the subgraph's edges.
+
+use sgr_bench::harness::{self, Args, Method};
+use sgr_gen::Dataset;
+use sgr_util::Xoshiro256pp;
+use std::io::Write;
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.ensure_out_dir().to_path_buf();
+
+    let mut file = std::fs::File::create(out_dir.join("table4.tsv")).expect("create table4.tsv");
+    let header = "dataset\tBFS\tSnowball\tFF\tRW\tGjoka_total\tGjoka_rewire\tProposed_total\tProposed_rewire\tspeedup";
+    println!("# Table IV — generation times in seconds at 10%% queried (runs = {}, RC = {})", args.runs, args.rc);
+    println!("{header}");
+    writeln!(file, "{header}").unwrap();
+
+    for ds in Dataset::SMALL_SIX {
+        let g = harness::analogue(ds, args.scale, args.seed);
+        let mut sums = [0.0f64; 8];
+        for run in 0..args.runs {
+            let mut rng =
+                Xoshiro256pp::seed_from_u64(args.seed ^ (run as u64) << 32 ^ (ds as u64) << 8);
+            let outs = harness::run_all_methods(&g, 0.10, args.rc, &mut rng);
+            let by = |m: Method| outs.iter().find(|o| o.method == m).unwrap();
+            sums[0] += by(Method::Bfs).total_secs;
+            sums[1] += by(Method::Snowball).total_secs;
+            sums[2] += by(Method::ForestFire).total_secs;
+            sums[3] += by(Method::Rw).total_secs;
+            sums[4] += by(Method::Gjoka).total_secs;
+            sums[5] += by(Method::Gjoka).rewire_secs;
+            sums[6] += by(Method::Proposed).total_secs;
+            sums[7] += by(Method::Proposed).rewire_secs;
+        }
+        for s in &mut sums {
+            *s /= args.runs as f64;
+        }
+        let speedup = if sums[6] > 0.0 { sums[4] / sums[6] } else { f64::NAN };
+        let row = format!(
+            "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}",
+            ds.name(),
+            sums[0],
+            sums[1],
+            sums[2],
+            sums[3],
+            sums[4],
+            sums[5],
+            sums[6],
+            sums[7],
+            speedup
+        );
+        println!("{row}");
+        writeln!(file, "{row}").unwrap();
+    }
+    eprintln!("wrote {}", out_dir.join("table4.tsv").display());
+}

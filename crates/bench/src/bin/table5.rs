@@ -1,0 +1,55 @@
+//! Table V — the YouTube analogue at 1% queried nodes: per-property L1
+//! distance, average ± SD over the 12 properties, and generation time,
+//! for every method.
+
+use sgr_bench::harness::{self, Args};
+use sgr_gen::Dataset;
+use sgr_props::{StructuralProperties, PROPERTY_NAMES};
+use sgr_util::stats::mean_std;
+use sgr_util::Xoshiro256pp;
+use std::io::Write;
+
+fn main() {
+    let args = Args::parse();
+    let out_dir = args.ensure_out_dir().to_path_buf();
+    let props_cfg = args.props_cfg();
+
+    let g = harness::analogue(Dataset::YouTube, args.scale, args.seed);
+    eprintln!(
+        "YouTube analogue: n = {}, m = {}",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    let orig = StructuralProperties::compute(&g, &props_cfg);
+
+    let runs: Vec<_> = (0..args.runs)
+        .map(|run| {
+            let mut rng = Xoshiro256pp::seed_from_u64(args.seed ^ (run as u64) << 32 ^ 0x7b3);
+            harness::evaluate_run(&g, &orig, 0.01, args.rc, &props_cfg, &mut rng)
+        })
+        .collect();
+    let avg = harness::average_runs(&runs);
+
+    let mut file = std::fs::File::create(out_dir.join("table5.tsv")).expect("create table5.tsv");
+    let header = format!(
+        "method\t{}\tavg\tsd\ttime_sec",
+        PROPERTY_NAMES.join("\t")
+    );
+    println!(
+        "# Table V — YouTube analogue at 1%% queried (runs = {}, RC = {})",
+        args.runs, args.rc
+    );
+    println!("{header}");
+    writeln!(file, "{header}").unwrap();
+    for r in &avg {
+        let (mean, sd) = mean_std(&r.distances);
+        let mut cells: Vec<f64> = r.distances.to_vec();
+        cells.push(mean);
+        cells.push(sd);
+        cells.push(r.total_secs);
+        let row = harness::tsv_row(r.method.name(), &cells);
+        println!("{row}");
+        writeln!(file, "{row}").unwrap();
+    }
+    eprintln!("wrote {}", out_dir.join("table5.tsv").display());
+}

@@ -1,0 +1,113 @@
+//! Minimal `--key value` argument parsing for the subcommands (no
+//! third-party CLI crate; the workspace's dependency policy keeps the
+//! tree small).
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options.
+pub struct Opts {
+    map: BTreeMap<String, String>,
+    /// Whether `--help` was requested.
+    pub help: bool,
+}
+
+impl Opts {
+    /// Parses an option list; returns `Err(message)` on stray or
+    /// incomplete tokens.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut map = BTreeMap::new();
+        let mut help = false;
+        let mut i = 0;
+        while i < argv.len() {
+            let key = &argv[i];
+            if key == "--help" || key == "-h" {
+                help = true;
+                i += 1;
+                continue;
+            }
+            let Some(stripped) = key.strip_prefix("--") else {
+                return Err(format!("unexpected argument: {key}"));
+            };
+            let Some(value) = argv.get(i + 1) else {
+                return Err(format!("missing value for --{stripped}"));
+            };
+            map.insert(stripped.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Self { map, help })
+    }
+
+    /// Required string option.
+    pub fn req(&self, key: &str) -> Result<&str, String> {
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Optional parsed option with default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a {}", std::any::type_name::<T>())),
+        }
+    }
+
+    /// Required parsed option.
+    pub fn get_req<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.req(key)?
+            .parse()
+            .map_err(|_| format!("--{key} expects a {}", std::any::type_name::<T>()))
+    }
+
+    /// Rejects unknown keys (call after reading all expected ones).
+    pub fn ensure_only(&self, allowed: &[&str]) -> Result<(), String> {
+        for key in self.map.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown option --{key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Opts::parse(&argv(&["--nodes", "100", "--model", "hk"])).unwrap();
+        assert_eq!(o.req("model").unwrap(), "hk");
+        assert_eq!(o.get_req::<usize>("nodes").unwrap(), 100);
+        assert_eq!(o.get_or("seed", 7u64).unwrap(), 7);
+        assert!(o.ensure_only(&["nodes", "model"]).is_ok());
+        assert!(o.ensure_only(&["nodes"]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Opts::parse(&argv(&["stray"])).is_err());
+        assert!(Opts::parse(&argv(&["--key"])).is_err());
+        let o = Opts::parse(&argv(&["--n", "x"])).unwrap();
+        assert!(o.get_req::<usize>("n").is_err());
+        assert!(o.req("missing").is_err());
+    }
+
+    #[test]
+    fn help_flag() {
+        let o = Opts::parse(&argv(&["-h"])).unwrap();
+        assert!(o.help);
+    }
+}

@@ -1,0 +1,409 @@
+//! Subcommand implementations.
+
+use crate::args::Opts;
+use sgr_core::{restore as core_restore, RestoreConfig};
+use sgr_graph::io::{read_edge_list_file, write_edge_list_file};
+use sgr_graph::Graph;
+use sgr_props::{PropsConfig, StructuralProperties, PROPERTY_NAMES};
+use sgr_sample::{bfs, forest_fire, random_walk, snowball, AccessModel, Crawl};
+use sgr_util::Xoshiro256pp;
+
+/// Wraps a fallible command body: prints errors and usage, returns the
+/// process exit code.
+fn run(
+    argv: &[String],
+    usage: &str,
+    allowed: &[&str],
+    body: impl FnOnce(&Opts) -> Result<(), String>,
+) -> i32 {
+    let opts = match Opts::parse(argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{usage}");
+            return 2;
+        }
+    };
+    if opts.help {
+        eprintln!("{usage}");
+        return 0;
+    }
+    if let Err(e) = opts.ensure_only(allowed) {
+        eprintln!("error: {e}\n{usage}");
+        return 2;
+    }
+    match body(&opts) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let (g, _) = read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(g)
+}
+
+fn props_cfg(opts: &Opts) -> Result<PropsConfig, String> {
+    Ok(PropsConfig {
+        exact_threshold: opts.get_or("exact-threshold", 4_000usize)?,
+        num_pivots: opts.get_or("pivots", 512usize)?,
+        threads: 0,
+        seed: opts.get_or("seed", 0x5eedu64)?,
+    })
+}
+
+/// `sgr generate`.
+pub fn generate(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr generate --model <hk|ba|er|ws|analogue> --out FILE
+  hk:        --nodes N --m M --pt P
+  ba:        --nodes N --m M
+  er:        --nodes N --edges M
+  ws:        --nodes N --k K --beta B
+  analogue:  --dataset <anybeat|brightkite|epinions|slashdot|gowalla|livemocha|youtube> [--scale X]
+  common:    --seed N";
+    run(
+        argv,
+        USAGE,
+        &[
+            "model", "out", "nodes", "m", "pt", "edges", "k", "beta", "dataset", "scale", "seed",
+        ],
+        |o| {
+            let mut rng = Xoshiro256pp::seed_from_u64(o.get_or("seed", 42u64)?);
+            let model = o.req("model")?;
+            let g = match model {
+                "hk" => sgr_gen::holme_kim(
+                    o.get_req("nodes")?,
+                    o.get_req("m")?,
+                    o.get_or("pt", 0.5)?,
+                    &mut rng,
+                )
+                .map_err(|e| e.to_string())?,
+                "ba" => sgr_gen::barabasi_albert(o.get_req("nodes")?, o.get_req("m")?, &mut rng)
+                    .map_err(|e| e.to_string())?,
+                "er" => sgr_gen::erdos_renyi_gnm(o.get_req("nodes")?, o.get_req("edges")?, &mut rng)
+                    .map_err(|e| e.to_string())?,
+                "ws" => sgr_gen::watts_strogatz(
+                    o.get_req("nodes")?,
+                    o.get_req("k")?,
+                    o.get_or("beta", 0.1)?,
+                    &mut rng,
+                )
+                .map_err(|e| e.to_string())?,
+                "analogue" => {
+                    let ds = parse_dataset(o.req("dataset")?)?;
+                    ds.spec().scaled(o.get_or("scale", 1.0)?).generate(&mut rng)
+                }
+                other => return Err(format!("unknown model {other}")),
+            };
+            let out = o.req("out")?;
+            write_edge_list_file(&g, out).map_err(|e| e.to_string())?;
+            eprintln!("wrote {out}: n = {}, m = {}", g.num_nodes(), g.num_edges());
+            Ok(())
+        },
+    )
+}
+
+fn parse_dataset(name: &str) -> Result<sgr_gen::Dataset, String> {
+    use sgr_gen::Dataset::*;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "anybeat" => Anybeat,
+        "brightkite" => Brightkite,
+        "epinions" => Epinions,
+        "slashdot" => Slashdot,
+        "gowalla" => Gowalla,
+        "livemocha" => Livemocha,
+        "youtube" => YouTube,
+        other => return Err(format!("unknown dataset {other}")),
+    })
+}
+
+fn do_crawl(g: &Graph, opts: &Opts, rng: &mut Xoshiro256pp) -> Result<Crawl, String> {
+    let fraction: f64 = opts.get_or("fraction", 0.1)?;
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err("--fraction must be in [0, 1]".into());
+    }
+    let target = ((g.num_nodes() as f64 * fraction).round() as usize).max(1);
+    let mut am = AccessModel::new(g);
+    let seed_node = am.random_seed(rng);
+    let walk = opts.opt("walk").unwrap_or("rw");
+    let crawl = match walk {
+        "rw" => random_walk(&mut am, seed_node, target, rng),
+        "bfs" => bfs(&mut am, seed_node, target),
+        "snowball" => snowball(&mut am, seed_node, opts.get_or("k", 50usize)?, target, rng),
+        "ff" => forest_fire(&mut am, seed_node, opts.get_or("pf", 0.7)?, target, rng),
+        "nbrw" => sgr_sample::non_backtracking_walk(&mut am, seed_node, target, rng),
+        "mhrw" => sgr_sample::metropolis_hastings_walk(&mut am, seed_node, target, rng),
+        other => return Err(format!("unknown walk {other}")),
+    };
+    eprintln!(
+        "crawled {} nodes ({} queries, {:.1}% of the graph)",
+        crawl.num_queried(),
+        am.query_calls(),
+        100.0 * am.queried_fraction()
+    );
+    Ok(crawl)
+}
+
+/// `sgr crawl`.
+pub fn crawl(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr crawl --graph FILE --out FILE
+  [--fraction F=0.1] [--walk rw|bfs|snowball|ff|nbrw|mhrw] [--k 50] [--pf 0.7] [--seed N]";
+    run(
+        argv,
+        USAGE,
+        &["graph", "out", "fraction", "walk", "k", "pf", "seed"],
+        |o| {
+            let g = load(o.req("graph")?)?;
+            let mut rng = Xoshiro256pp::seed_from_u64(o.get_or("seed", 42u64)?);
+            let crawl = do_crawl(&g, o, &mut rng)?;
+            let sg = crawl.subgraph();
+            let out = o.req("out")?;
+            write_edge_list_file(&sg.graph, out).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {out}: subgraph with {} nodes ({} queried, {} visible), {} edges",
+                sg.num_nodes(),
+                sg.num_queried(),
+                sg.num_visible(),
+                sg.num_edges()
+            );
+            Ok(())
+        },
+    )
+}
+
+/// `sgr restore`.
+pub fn restore(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr restore --graph FILE --out FILE
+  [--fraction F=0.1] [--rc 500] [--no-rewire true] [--seed N]";
+    run(
+        argv,
+        USAGE,
+        &["graph", "out", "fraction", "rc", "no-rewire", "seed"],
+        |o| {
+            let g = load(o.req("graph")?)?;
+            let mut rng = Xoshiro256pp::seed_from_u64(o.get_or("seed", 42u64)?);
+            let crawl = do_crawl(&g, o, &mut rng)?;
+            let cfg = RestoreConfig {
+                rewiring_coefficient: o.get_or("rc", 500.0)?,
+                rewire: !o.get_or("no-rewire", false)?,
+            };
+            let r = core_restore(&crawl, &cfg, &mut rng).map_err(|e| e.to_string())?;
+            let out = o.req("out")?;
+            write_edge_list_file(&r.graph, out).map_err(|e| e.to_string())?;
+            eprintln!(
+                "wrote {out}: n = {}, m = {} (total {:.2}s, rewiring {:.2}s over {} candidates)",
+                r.graph.num_nodes(),
+                r.graph.num_edges(),
+                r.stats.total_secs(),
+                r.stats.rewire_secs,
+                r.stats.candidate_edges
+            );
+            Ok(())
+        },
+    )
+}
+
+/// `sgr props`.
+pub fn props(argv: &[String]) -> i32 {
+    const USAGE: &str =
+        "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--seed N]";
+    run(
+        argv,
+        USAGE,
+        &["graph", "exact-threshold", "pivots", "seed"],
+        |o| {
+            let g = load(o.req("graph")?)?;
+            let p = StructuralProperties::compute(&g, &props_cfg(o)?);
+            println!("n        {}", p.num_nodes);
+            println!("k_avg    {:.4}", p.avg_degree);
+            println!("c_avg    {:.4}", p.mean_clustering);
+            println!("l_avg    {:.4}", p.avg_path_length);
+            println!("l_max    {}", p.diameter);
+            println!("lambda1  {:.4}", p.lambda1);
+            println!("k_max    {}", p.degree_dist.len().saturating_sub(1));
+            println!(
+                "P(k) head: {:?}",
+                &p.degree_dist[..p.degree_dist.len().min(8)]
+                    .iter()
+                    .map(|v| (v * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
+            );
+            Ok(())
+        },
+    )
+}
+
+/// `sgr compare`.
+pub fn compare(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr compare --original FILE --generated FILE
+  [--exact-threshold N] [--pivots N] [--seed N]";
+    run(
+        argv,
+        USAGE,
+        &["original", "generated", "exact-threshold", "pivots", "seed"],
+        |o| {
+            let orig = load(o.req("original")?)?;
+            let gen = load(o.req("generated")?)?;
+            let cfg = props_cfg(o)?;
+            let po = StructuralProperties::compute(&orig, &cfg);
+            let pg = StructuralProperties::compute(&gen, &cfg);
+            let dists = po.l1_distances(&pg);
+            println!("property\tL1");
+            for (name, d) in PROPERTY_NAMES.iter().zip(dists) {
+                println!("{name}\t{d:.4}");
+            }
+            let (mean, sd) = sgr_util::stats::mean_std(&dists);
+            println!("average\t{mean:.4}");
+            println!("sd\t{sd:.4}");
+            Ok(())
+        },
+    )
+}
+
+/// `sgr dissim`.
+pub fn dissim(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr dissim --original FILE --generated FILE
+  [--exact-threshold N] [--pivots N] [--seed N]";
+    run(
+        argv,
+        USAGE,
+        &["original", "generated", "exact-threshold", "pivots", "seed"],
+        |o| {
+            let orig = load(o.req("original")?)?;
+            let gen = load(o.req("generated")?)?;
+            let d = sgr_props::dissimilarity::dissimilarity(&orig, &gen, &props_cfg(o)?);
+            println!("{d:.6}");
+            Ok(())
+        },
+    )
+}
+
+/// `sgr render`.
+pub fn render(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr render --graph FILE --out FILE.svg";
+    run(argv, USAGE, &["graph", "out"], |o| {
+        let g = load(o.req("graph")?)?;
+        let out = o.req("out")?;
+        sgr_viz::write_svg(&g, out).map_err(|e| e.to_string())?;
+        eprintln!("wrote {out}");
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sgr_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_crawl_restore_compare_roundtrip() {
+        let g_path = tmp("g.edges");
+        assert_eq!(
+            generate(&argv(&[
+                "--model", "hk", "--nodes", "400", "--m", "3", "--pt", "0.5", "--out", &g_path,
+            ])),
+            0
+        );
+        let sub_path = tmp("sub.edges");
+        assert_eq!(
+            crawl(&argv(&[
+                "--graph", &g_path, "--fraction", "0.1", "--out", &sub_path,
+            ])),
+            0
+        );
+        let r_path = tmp("restored.edges");
+        assert_eq!(
+            restore(&argv(&[
+                "--graph", &g_path, "--fraction", "0.1", "--rc", "3", "--out", &r_path,
+            ])),
+            0
+        );
+        assert_eq!(
+            compare(&argv(&["--original", &g_path, "--generated", &r_path])),
+            0
+        );
+        assert_eq!(
+            dissim(&argv(&["--original", &g_path, "--generated", &r_path])),
+            0
+        );
+        assert_eq!(props(&argv(&["--graph", &r_path])), 0);
+        let svg_path = tmp("g.svg");
+        assert_eq!(render(&argv(&["--graph", &g_path, "--out", &svg_path])), 0);
+        assert!(std::fs::metadata(&svg_path).unwrap().len() > 100);
+    }
+
+    #[test]
+    fn generate_all_models_and_analogues() {
+        for (model, extra) in [
+            ("ba", vec!["--nodes", "100", "--m", "2"]),
+            ("er", vec!["--nodes", "100", "--edges", "200"]),
+            ("ws", vec!["--nodes", "100", "--k", "3", "--beta", "0.1"]),
+            (
+                "analogue",
+                vec!["--dataset", "anybeat", "--scale", "0.02"],
+            ),
+        ] {
+            let out = tmp(&format!("{model}.edges"));
+            let mut a = vec!["--model", model, "--out", &out];
+            a.extend(extra);
+            assert_eq!(generate(&argv(&a)), 0, "model {model} failed");
+        }
+    }
+
+    #[test]
+    fn bad_input_returns_nonzero() {
+        assert_ne!(generate(&argv(&["--model", "nosuch", "--out", "/dev/null"])), 0);
+        assert_ne!(crawl(&argv(&["--graph", "/nonexistent/file"])), 0);
+        assert_ne!(props(&argv(&["--graph", "/nonexistent/file"])), 0);
+        assert_ne!(generate(&argv(&["--unknown-flag", "x"])), 0);
+        // --help exits 0 without doing work.
+        assert_eq!(generate(&argv(&["--help"])), 0);
+        assert_eq!(restore(&argv(&["-h"])), 0);
+    }
+
+    #[test]
+    fn dataset_names_parse() {
+        for name in [
+            "anybeat",
+            "brightkite",
+            "epinions",
+            "slashdot",
+            "gowalla",
+            "livemocha",
+            "youtube",
+            "YouTube",
+        ] {
+            assert!(parse_dataset(name).is_ok(), "{name}");
+        }
+        assert!(parse_dataset("facebook").is_err());
+    }
+
+    #[test]
+    fn alternate_walks_via_cli() {
+        let g_path = tmp("walks.edges");
+        generate(&argv(&[
+            "--model", "hk", "--nodes", "300", "--m", "3", "--pt", "0.4", "--out", &g_path,
+        ]));
+        for walk in ["bfs", "snowball", "ff", "nbrw", "mhrw"] {
+            let out = tmp(&format!("sub_{walk}.edges"));
+            assert_eq!(
+                crawl(&argv(&[
+                    "--graph", &g_path, "--walk", walk, "--fraction", "0.1", "--out", &out,
+                ])),
+                0,
+                "walk {walk} failed"
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! `sgr` — the command-line front end of the social-graph-restoration
+//! workspace.
+//!
+//! ```text
+//! sgr generate --model hk --nodes 10000 --m 4 --pt 0.5 --out g.edges
+//! sgr crawl    --graph g.edges --fraction 0.1 --walk rw --out crawl.edges
+//! sgr restore  --graph g.edges --fraction 0.1 --rc 500 --out restored.edges
+//! sgr props    --graph restored.edges
+//! sgr compare  --original g.edges --generated restored.edges
+//! sgr dissim   --original g.edges --generated restored.edges
+//! sgr render   --graph restored.edges --out restored.svg
+//! ```
+//!
+//! Every subcommand prints `--help`-style usage on bad input.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate(&argv[1..]),
+        Some("crawl") => commands::crawl(&argv[1..]),
+        Some("restore") => commands::restore(&argv[1..]),
+        Some("props") => commands::props(&argv[1..]),
+        Some("compare") => commands::compare(&argv[1..]),
+        Some("dissim") => commands::dissim(&argv[1..]),
+        Some("render") => commands::render(&argv[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    eprintln!(
+        "sgr — social graph restoration via random walk sampling (ICDE 2022)
+
+USAGE: sgr <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+  generate   synthesize a social graph (hk | ba | er | ws | analogue)
+  crawl      crawl a hidden graph and write the induced subgraph
+  restore    crawl + restore; write the generated graph
+  props      print the 12 structural properties of a graph
+  compare    L1 distances of the 12 properties between two graphs
+  dissim     Schieber et al. network dissimilarity of two graphs
+  render     force-directed SVG rendering of a graph
+
+Run `sgr <SUBCOMMAND> --help` for the options of each subcommand."
+    );
+}

@@ -1,0 +1,161 @@
+//! Phase 3 — adding nodes and edges to the subgraph (§IV-D, Algorithm 5).
+
+use crate::target_dv::TargetDv;
+use crate::target_jdm::TargetJdm;
+use sgr_dk::construct::wire_stubs;
+use sgr_dk::extract::JointDegreeMatrix;
+use sgr_dk::DkError;
+use sgr_graph::{Graph, NodeId};
+use sgr_sample::Subgraph;
+use sgr_util::{FxHashMap, Xoshiro256pp};
+
+/// Output of the construction phase.
+#[derive(Debug)]
+pub struct Built {
+    /// `G̃` — contains `G'` (dense ids `0..|V'|`) plus the added nodes.
+    pub graph: Graph,
+    /// The edges added on top of `E'` — the rewiring candidate set
+    /// `Ẽ_rew = Ẽ \ E'`.
+    pub added_edges: Vec<(NodeId, NodeId)>,
+    /// Per-node target degrees actually used (subgraph nodes first).
+    pub target_deg: Vec<u32>,
+}
+
+/// Algorithm 5: extend the subgraph so the result preserves `{n*(k)}` and
+/// `{m*(k,k')}` exactly.
+///
+/// 1. start from `G̃ = G'`;
+/// 2. append `Σ_k n*(k) − |V'|` fresh nodes;
+/// 3. build the degree sequence in which `k` appears `n*(k) − n'(k)`
+///    times, shuffle it, and assign it to the added nodes;
+/// 4. give every node `d*_i − d'_i` free half-edges;
+/// 5. for each `k ≤ k'`, wire `m*(k,k') − m'(k,k')` uniformly random
+///    stub pairs between the degree classes.
+pub fn extend_subgraph(
+    sg: &Subgraph,
+    dv: &TargetDv,
+    jdm: &TargetJdm,
+    rng: &mut Xoshiro256pp,
+) -> Result<Built, DkError> {
+    let n_sub = sg.num_nodes();
+    let n_total = dv.num_nodes() as usize;
+    debug_assert!(n_total >= n_sub, "DV-3 guarantees room for the subgraph");
+
+    // G̃ starts as G' over ids 0..n_sub, plus the added nodes.
+    let mut g = Graph::with_nodes(n_total);
+    for (u, v) in sg.graph.edges() {
+        g.add_edge(u, v);
+    }
+
+    // Degree sequence for the added nodes: k appears n*(k) - n'(k) times.
+    let mut dseq: Vec<u32> = Vec::with_capacity(n_total - n_sub);
+    for k in 1..=dv.k_max {
+        for _ in 0..(dv.n_star[k] - dv.n_prime[k]) {
+            dseq.push(k as u32);
+        }
+    }
+    debug_assert_eq!(dseq.len(), n_total - n_sub);
+    sgr_util::sampling::shuffle(&mut dseq, rng);
+
+    let mut target_deg: Vec<u32> = Vec::with_capacity(n_total);
+    target_deg.extend_from_slice(&dv.d_star);
+    target_deg.extend_from_slice(&dseq);
+
+    // Edges to add per degree-class pair.
+    let mut add: JointDegreeMatrix = FxHashMap::default();
+    for k in 1..=jdm.k_max {
+        for k2 in k..=jdm.k_max {
+            let extra = jdm.m_star[k][k2] - jdm.m_prime[k][k2];
+            if extra > 0 {
+                add.insert((k as u32, k2 as u32), extra);
+            }
+        }
+    }
+
+    let added_edges = wire_stubs(&mut g, &target_deg, &add, rng)?;
+    Ok(Built {
+        graph: g,
+        added_edges,
+        target_deg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{target_dv, target_jdm};
+    use sgr_dk::extract::joint_degree_matrix;
+    use sgr_estimate::Estimates;
+    use sgr_graph::index::MultiplicityIndex;
+    use sgr_sample::{random_walk, AccessModel};
+
+    fn setup(n: usize, frac: f64, seed: u64) -> (Subgraph, Estimates) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g = sgr_gen::holme_kim(n, 3, 0.5, &mut rng).unwrap();
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let target = ((n as f64 * frac) as usize).max(3);
+        let crawl = random_walk(&mut am, start, target, &mut rng);
+        (crawl.subgraph(), sgr_estimate::estimate_all(&crawl).unwrap())
+    }
+
+    #[test]
+    fn output_preserves_targets_exactly() {
+        for seed in 0..4 {
+            let (sg, est) = setup(500, 0.1, seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed + 70);
+            let mut dv = target_dv::build(&sg, &est, &mut rng);
+            let jdm = target_jdm::build(&sg, &est, &mut dv, &mut rng);
+            let built = extend_subgraph(&sg, &dv, &jdm, &mut rng).unwrap();
+            let g = &built.graph;
+            g.validate().unwrap();
+
+            // Degree vector preserved exactly.
+            let measured = g.degree_vector();
+            for k in 1..=dv.k_max {
+                assert_eq!(
+                    measured.get(k).copied().unwrap_or(0) as u64,
+                    dv.n_star[k],
+                    "n({k}) off (seed {seed})"
+                );
+            }
+            // Joint degree matrix preserved exactly.
+            let measured_jdm = joint_degree_matrix(g);
+            for k in 1..=jdm.k_max {
+                for k2 in k..=jdm.k_max {
+                    assert_eq!(
+                        measured_jdm.get(&(k as u32, k2 as u32)).copied().unwrap_or(0),
+                        jdm.m_star[k][k2],
+                        "m({k},{k2}) off (seed {seed})"
+                    );
+                }
+            }
+            // Subgraph contained edge-for-edge.
+            let idx = MultiplicityIndex::build(g);
+            for (u, v) in sg.graph.edges() {
+                assert!(idx.get(u, v) >= 1);
+            }
+            // Added edges + subgraph edges = all edges.
+            assert_eq!(
+                built.added_edges.len() + sg.num_edges(),
+                g.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn target_degrees_are_met_per_node() {
+        let (sg, est) = setup(400, 0.12, 9);
+        let mut rng = Xoshiro256pp::seed_from_u64(80);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let jdm = target_jdm::build(&sg, &est, &mut dv, &mut rng);
+        let built = extend_subgraph(&sg, &dv, &jdm, &mut rng).unwrap();
+        for (u, &d) in built.target_deg.iter().enumerate() {
+            assert_eq!(
+                built.graph.degree(u as NodeId),
+                d as usize,
+                "node {u} missed its target degree"
+            );
+        }
+    }
+}

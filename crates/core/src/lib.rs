@@ -1,0 +1,304 @@
+//! # sgr-core
+//!
+//! The paper's primary contribution: **social graph restoration from a
+//! random-walk sample** (§IV), plus the reproducible version of Gjoka et
+//! al.'s 2.5K baseline (Appendix B).
+//!
+//! Given a [`Crawl`] produced by a simple random walk, [`restore`] runs
+//! the four phases of the proposed method:
+//!
+//! 1. **Target degree vector** `{n*(k)}` ([`target_dv`]) — initialize
+//!    from `n̂ P̂(k)`, adjust to an even degree sum (Algorithm 1), and
+//!    modify so every subgraph node can keep (queried) or grow to
+//!    (visible) its target degree (Algorithm 2);
+//! 2. **Target joint degree matrix** `{m*(k,k')}` ([`target_jdm`]) —
+//!    initialize from `n̂ k̄̂ P̂(k,k')/µ`, adjust the per-degree marginals
+//!    to `k·n*(k)` (Algorithm 3), modify to dominate the subgraph's JDM
+//!    (Algorithm 4), and re-adjust with the subgraph as a lower bound;
+//! 3. **Construction** ([`construct`]) — extend `G'` with new nodes and
+//!    stub-matched edges so the result preserves `{n*(k)}` and
+//!    `{m*(k,k')}` exactly (Algorithm 5);
+//! 4. **Rewiring** ([`sgr_dk::rewire`]) — equal-degree edge swaps over
+//!    the *added* edges only (`Ẽ_rew = Ẽ \ E'`), greedily minimizing the
+//!    L1 distance to `{ĉ̄(k)}` (Algorithm 6).
+//!
+//! [`gjoka::generate`] implements the baseline with the same machinery
+//! but no subgraph: target construction skips the modification steps, the
+//! graph is built from an empty graph, and every edge is rewirable.
+
+pub mod construct;
+pub mod gjoka;
+pub mod target_dv;
+pub mod target_jdm;
+
+use sgr_dk::rewire::{RewireEngine, RewireStats};
+use sgr_estimate::{estimate_all, EstimateError, Estimates};
+use sgr_graph::Graph;
+use sgr_sample::{Crawl, Subgraph};
+use sgr_util::Xoshiro256pp;
+
+/// Configuration of the restoration pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct RestoreConfig {
+    /// `R_C` — the rewiring-attempts coefficient (`R = R_C · |Ẽ_rew|`).
+    /// The paper uses 500 (§V-E).
+    pub rewiring_coefficient: f64,
+    /// Set false to stop after Phase 3 (used by ablations).
+    pub rewire: bool,
+}
+
+impl Default for RestoreConfig {
+    fn default() -> Self {
+        Self {
+            rewiring_coefficient: 500.0,
+            rewire: true,
+        }
+    }
+}
+
+/// Errors from the restoration pipeline.
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The walk was too short for the estimators.
+    Estimate(EstimateError),
+    /// Internal construction failure (violated realizability conditions —
+    /// indicates a bug, surfaced instead of panicking).
+    Construct(sgr_dk::DkError),
+    /// The crawl contains no queried nodes.
+    EmptyCrawl,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Estimate(e) => write!(f, "estimation failed: {e}"),
+            RestoreError::Construct(e) => write!(f, "construction failed: {e}"),
+            RestoreError::EmptyCrawl => write!(f, "crawl contains no queried node"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<EstimateError> for RestoreError {
+    fn from(e: EstimateError) -> Self {
+        RestoreError::Estimate(e)
+    }
+}
+
+impl From<sgr_dk::DkError> for RestoreError {
+    fn from(e: sgr_dk::DkError) -> Self {
+        RestoreError::Construct(e)
+    }
+}
+
+/// Timings and counters from one restoration run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RestoreStats {
+    /// Wall time of the estimation + target-construction phases.
+    pub target_secs: f64,
+    /// Wall time of Phase 3 (adding nodes and edges).
+    pub construct_secs: f64,
+    /// Wall time of Phase 4 (rewiring).
+    pub rewire_secs: f64,
+    /// Rewiring detail.
+    pub rewire_stats: RewireStats,
+    /// Number of nodes in the generated graph.
+    pub nodes: usize,
+    /// Number of edges in the generated graph.
+    pub edges: usize,
+    /// Number of rewirable (added) edges `|Ẽ_rew|`.
+    pub candidate_edges: usize,
+}
+
+impl RestoreStats {
+    /// Total generation time (the paper's Table IV "Total").
+    pub fn total_secs(&self) -> f64 {
+        self.target_secs + self.construct_secs + self.rewire_secs
+    }
+}
+
+/// The outcome of a restoration.
+#[derive(Debug)]
+pub struct Restored {
+    /// The generated graph `G̃` (contains `G'` as node ids `0..|V'|`).
+    pub graph: Graph,
+    /// The subgraph `G'` the generation started from.
+    pub subgraph: Subgraph,
+    /// The re-weighted estimates used as targets.
+    pub estimates: Estimates,
+    /// Phase timings and counters.
+    pub stats: RestoreStats,
+}
+
+/// Runs the full proposed method (§IV) on a random-walk crawl.
+pub fn restore(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+) -> Result<Restored, RestoreError> {
+    if crawl.num_queried() == 0 {
+        return Err(RestoreError::EmptyCrawl);
+    }
+    let t0 = std::time::Instant::now();
+    let estimates = estimate_all(crawl)?;
+    let subgraph = crawl.subgraph();
+
+    // Phase 1: target degree vector (Algorithms 1 + 2).
+    let mut dv = target_dv::build(&subgraph, &estimates, rng);
+    // Phase 2: target joint degree matrix (Algorithms 3 + 4 + re-adjust).
+    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv, rng);
+    let target_secs = t0.elapsed().as_secs_f64();
+
+    // Phase 3: add nodes and edges (Algorithm 5).
+    let t1 = std::time::Instant::now();
+    let built = construct::extend_subgraph(&subgraph, &dv, &jdm, rng)?;
+    let construct_secs = t1.elapsed().as_secs_f64();
+
+    // Phase 4: rewiring over added edges only (Algorithm 6).
+    let t2 = std::time::Instant::now();
+    let candidate_edges = built.added_edges.len();
+    let (graph, rewire_stats) = if cfg.rewire && candidate_edges > 0 {
+        let mut target_c = estimates.clustering.clone();
+        target_c.resize(dv.k_max + 1, 0.0);
+        let mut engine = RewireEngine::new(built.graph, built.added_edges, &target_c);
+        let stats = engine.run(cfg.rewiring_coefficient, rng);
+        (engine.into_graph(), stats)
+    } else {
+        (built.graph, RewireStats::default())
+    };
+    let rewire_secs = t2.elapsed().as_secs_f64();
+
+    let stats = RestoreStats {
+        target_secs,
+        construct_secs,
+        rewire_secs,
+        rewire_stats,
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        candidate_edges,
+    };
+    Ok(Restored {
+        graph,
+        subgraph,
+        estimates,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_graph::index::MultiplicityIndex;
+    use sgr_sample::random_walk_until_fraction;
+
+    fn pipeline(n: usize, frac: f64, seed: u64, rc: f64) -> (Graph, Restored) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g = sgr_gen::holme_kim(n, 4, 0.5, &mut rng).unwrap();
+        let crawl = random_walk_until_fraction(&g, frac, &mut rng);
+        let cfg = RestoreConfig {
+            rewiring_coefficient: rc,
+            rewire: true,
+        };
+        let restored = restore(&crawl, &cfg, &mut rng).unwrap();
+        (g, restored)
+    }
+
+    #[test]
+    fn restored_graph_contains_subgraph() {
+        let (_, r) = pipeline(600, 0.10, 1, 20.0);
+        let idx = MultiplicityIndex::build(&r.graph);
+        for (u, v) in r.subgraph.graph.edges() {
+            assert!(
+                idx.get(u, v) >= 1,
+                "subgraph edge ({u},{v}) missing from restored graph"
+            );
+        }
+        // Queried nodes keep their exact degree.
+        for d in r.subgraph.queried_nodes() {
+            assert_eq!(
+                r.graph.degree(d),
+                r.subgraph.graph.degree(d),
+                "queried node {d} degree changed"
+            );
+        }
+        // Visible nodes have at least their subgraph degree.
+        for d in r.subgraph.visible_nodes() {
+            assert!(r.graph.degree(d) >= r.subgraph.graph.degree(d));
+        }
+    }
+
+    #[test]
+    fn restored_size_tracks_estimates() {
+        let (g, r) = pipeline(800, 0.10, 2, 10.0);
+        let n_gen = r.graph.num_nodes() as f64;
+        // Generated node count within 40% of truth (estimator noise).
+        assert!(
+            (n_gen - g.num_nodes() as f64).abs() / (g.num_nodes() as f64) < 0.4,
+            "generated n = {n_gen} vs true {}",
+            g.num_nodes()
+        );
+        let k_gen = r.graph.average_degree();
+        assert!(
+            (k_gen - g.average_degree()).abs() / g.average_degree() < 0.4,
+            "generated k̄ = {k_gen} vs true {}",
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn rewiring_improves_clustering_distance() {
+        let (_, r) = pipeline(600, 0.12, 3, 30.0);
+        let s = r.stats.rewire_stats;
+        assert!(s.accepted > 0);
+        assert!(
+            s.final_distance <= s.initial_distance,
+            "rewiring worsened D: {} -> {}",
+            s.initial_distance,
+            s.final_distance
+        );
+    }
+
+    #[test]
+    fn empty_crawl_errors() {
+        let crawl = Crawl::default();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        assert!(matches!(
+            restore(&crawl, &RestoreConfig::default(), &mut rng),
+            Err(RestoreError::EmptyCrawl)
+        ));
+    }
+
+    #[test]
+    fn no_rewire_config_skips_phase4() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let g = sgr_gen::holme_kim(400, 3, 0.5, &mut rng).unwrap();
+        let crawl = random_walk_until_fraction(&g, 0.1, &mut rng);
+        let cfg = RestoreConfig {
+            rewiring_coefficient: 500.0,
+            rewire: false,
+        };
+        let r = restore(&crawl, &cfg, &mut rng).unwrap();
+        assert_eq!(r.stats.rewire_stats.attempts, 0);
+        assert_eq!(r.stats.rewire_stats.accepted, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, a) = pipeline(400, 0.1, 6, 5.0);
+        let (_, b) = pipeline(400, 0.1, 6, 5.0);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn stats_totals_are_consistent() {
+        let (_, r) = pipeline(400, 0.1, 7, 5.0);
+        assert!(r.stats.total_secs() >= r.stats.rewire_secs);
+        assert_eq!(r.stats.nodes, r.graph.num_nodes());
+        assert_eq!(r.stats.edges, r.graph.num_edges());
+        assert!(r.stats.candidate_edges <= r.stats.edges);
+    }
+}

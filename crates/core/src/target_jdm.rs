@@ -1,0 +1,459 @@
+//! Phase 2 — constructing the target joint degree matrix `{m*(k,k')}`
+//! (§IV-C, Algorithms 3 and 4).
+
+use crate::target_dv::TargetDv;
+use sgr_estimate::Estimates;
+use sgr_sample::Subgraph;
+use sgr_util::Xoshiro256pp;
+
+/// The target joint degree matrix. Dense symmetric storage over degrees
+/// `0 ..= k_max` (row/column 0 unused).
+#[derive(Clone, Debug)]
+pub struct TargetJdm {
+    /// `m*(k, k')`.
+    pub m_star: Vec<Vec<u64>>,
+    /// `m̂(k, k') = n̂ k̄̂ P̂(k,k') / µ(k,k')` — the raw estimates the
+    /// error terms `Δ±(k,k')` reference (0 where `P̂ = 0`).
+    pub m_hat: Vec<Vec<f64>>,
+    /// `m'(k, k')` — the subgraph's edge counts between *target*-degree
+    /// classes (all zero for the Gjoka baseline). Doubles as the lower
+    /// limit `m_min` in the final adjustment.
+    pub m_prime: Vec<Vec<u64>>,
+    /// Degree range.
+    pub k_max: usize,
+}
+
+impl TargetJdm {
+    /// `µ(k, k')` (Eq. 3).
+    #[inline]
+    fn mu(k: usize, k2: usize) -> u64 {
+        if k == k2 {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Marginal `s(k) = Σ_{k'} µ(k,k') m*(k,k')`.
+    pub fn marginal(&self, k: usize) -> u64 {
+        (1..=self.k_max)
+            .map(|k2| Self::mu(k, k2) * self.m_star[k][k2])
+            .sum()
+    }
+
+    /// Total target edge count `Σ_{k ≤ k'} m*(k,k')`.
+    pub fn num_edges(&self) -> u64 {
+        let mut total = 0;
+        for k in 1..=self.k_max {
+            for k2 in k..=self.k_max {
+                total += self.m_star[k][k2];
+            }
+        }
+        total
+    }
+
+    /// `Δ+(k,k')` — error increase from incrementing `m*(k,k')`.
+    fn delta_plus(&self, k: usize, k2: usize) -> f64 {
+        let hat = self.m_hat[k][k2];
+        if hat <= 0.0 {
+            return f64::INFINITY;
+        }
+        let cur = self.m_star[k][k2] as f64;
+        ((hat - (cur + 1.0)).abs() - (hat - cur).abs()) / hat
+    }
+
+    /// `Δ-(k,k')` — error increase from decrementing `m*(k,k')`.
+    fn delta_minus(&self, k: usize, k2: usize) -> f64 {
+        let hat = self.m_hat[k][k2];
+        if hat <= 0.0 {
+            return f64::INFINITY;
+        }
+        let cur = self.m_star[k][k2] as f64;
+        ((hat - (cur - 1.0)).abs() - (hat - cur).abs()) / hat
+    }
+
+    fn inc(&mut self, k: usize, k2: usize) {
+        self.m_star[k][k2] += 1;
+        if k != k2 {
+            self.m_star[k2][k] += 1;
+        }
+    }
+
+    fn dec(&mut self, k: usize, k2: usize) {
+        debug_assert!(self.m_star[k][k2] > 0);
+        self.m_star[k][k2] -= 1;
+        if k != k2 {
+            self.m_star[k2][k] -= 1;
+        }
+    }
+}
+
+/// Builds the target JDM for the **proposed method**: initialization,
+/// adjustment toward the marginals `k·n*(k)` (Algorithm 3 with zero lower
+/// limits), modification to dominate the subgraph's JDM (Algorithm 4),
+/// and re-adjustment with the subgraph as the lower limit.
+///
+/// `dv` is mutated: Algorithm 3 may raise `n*(k)` when a marginal cannot
+/// be met by decreasing matrix entries.
+pub fn build(
+    subgraph: &Subgraph,
+    est: &Estimates,
+    dv: &mut TargetDv,
+    rng: &mut Xoshiro256pp,
+) -> TargetJdm {
+    let mut jdm = initialize(est, dv.k_max);
+    jdm.m_prime = measure_subgraph_jdm(subgraph, dv);
+    let zeros = vec![vec![0u64; dv.k_max + 1]; dv.k_max + 1];
+    adjust(&mut jdm, dv, &zeros, rng);
+    modify_for_subgraph(&mut jdm, rng);
+    let m_min = jdm.m_prime.clone();
+    adjust(&mut jdm, dv, &m_min, rng);
+    jdm
+}
+
+/// Builds the target JDM for **Gjoka et al.'s baseline**: initialization
+/// and adjustment only (no subgraph information).
+pub fn build_gjoka(est: &Estimates, dv: &mut TargetDv, rng: &mut Xoshiro256pp) -> TargetJdm {
+    let mut jdm = initialize(est, dv.k_max);
+    let zeros = vec![vec![0u64; dv.k_max + 1]; dv.k_max + 1];
+    adjust(&mut jdm, dv, &zeros, rng);
+    jdm
+}
+
+/// Initialization step (§IV-C-1): `m*(k,k') = max(NearInt(m̂), 1)`
+/// wherever `P̂(k,k') > 0`.
+fn initialize(est: &Estimates, k_max: usize) -> TargetJdm {
+    let mut m_star = vec![vec![0u64; k_max + 1]; k_max + 1];
+    let mut m_hat = vec![vec![0.0f64; k_max + 1]; k_max + 1];
+    for (&(k, k2), &p) in est.jdd.iter() {
+        let (k, k2) = (k as usize, k2 as usize);
+        if k > k_max || k2 > k_max || p <= 0.0 {
+            continue;
+        }
+        let hat = est.n_hat * est.avg_degree_hat * p / TargetJdm::mu(k, k2) as f64;
+        m_hat[k][k2] = hat;
+        m_star[k][k2] = sgr_util::stats::near_int(hat).max(1) as u64;
+    }
+    // `est.jdd` is stored symmetrically (both key orders, equal values),
+    // so `m_star` / `m_hat` are symmetric by construction here.
+    TargetJdm {
+        m_star,
+        m_hat,
+        m_prime: vec![vec![0u64; k_max + 1]; k_max + 1],
+        k_max,
+    }
+}
+
+/// `m'(k,k')` — subgraph edge counts between **target**-degree classes.
+fn measure_subgraph_jdm(sg: &Subgraph, dv: &TargetDv) -> Vec<Vec<u64>> {
+    let mut m = vec![vec![0u64; dv.k_max + 1]; dv.k_max + 1];
+    for (u, v) in sg.graph.edges() {
+        let k = dv.d_star[u as usize] as usize;
+        let k2 = dv.d_star[v as usize] as usize;
+        m[k][k2] += 1;
+        if k != k2 {
+            m[k2][k] += 1;
+        }
+    }
+    m
+}
+
+/// Adjustment step (Algorithm 3): make every marginal `s(k)` equal its
+/// target `s*(k) = k·n*(k)`, processing degrees in decreasing order,
+/// never decreasing an entry below `m_min`, and raising `n*(k)` when
+/// decreasing is impossible.
+fn adjust(
+    jdm: &mut TargetJdm,
+    dv: &mut TargetDv,
+    m_min: &[Vec<u64>],
+    rng: &mut Xoshiro256pp,
+) {
+    let k_max = jdm.k_max;
+    // Current marginals.
+    let mut s: Vec<i64> = (0..=k_max).map(|k| jdm.marginal(k) as i64).collect();
+    let s_target = |dv: &TargetDv, k: usize| (k as u64 * dv.n_star[k]) as i64;
+    // D: degrees whose marginal is off, plus degree 1.
+    let mut in_d = vec![false; k_max + 1];
+    for k in 1..=k_max {
+        in_d[k] = s[k] != s_target(dv, k);
+    }
+    in_d[1] = true;
+    let mut processed = vec![false; k_max + 1];
+
+    for k in (1..=k_max).rev() {
+        if !in_d[k] {
+            continue;
+        }
+        if k == 1 && (s[1] - s_target(dv, 1)).rem_euclid(2) == 1 {
+            // Only m*(1,1) is adjustable at degree 1 (±2 per step): make
+            // the gap even by raising n*(1).
+            dv.bump(1, 1);
+        }
+        let mut guard = 0u64;
+        while s[k] != s_target(dv, k) {
+            guard += 1;
+            assert!(
+                guard < 100_000_000,
+                "Algorithm 3 failed to converge at degree {k} (s = {}, s* = {})",
+                s[k],
+                s_target(dv, k)
+            );
+            if s[k] < s_target(dv, k) {
+                // Increase some m*(k, k').
+                let exclude_diag = s[k] == s_target(dv, k) - 1;
+                let pick = pick_min(1..=k, rng, |k2| {
+                    if !in_d[k2] || processed[k2] || (exclude_diag && k2 == k) {
+                        None
+                    } else {
+                        Some(jdm.delta_plus(k, k2))
+                    }
+                });
+                let k2 = pick.expect("D'+(k) is never empty (contains degree 1)");
+                jdm.inc(k, k2);
+                s[k] += TargetJdm::mu(k, k2) as i64;
+                if k2 != k {
+                    s[k2] += 1;
+                }
+            } else {
+                // Decrease some m*(k, k') above its lower limit.
+                let exclude_diag = s[k] == s_target(dv, k) + 1;
+                let pick = pick_min(1..=k, rng, |k2| {
+                    if !in_d[k2]
+                        || processed[k2]
+                        || (exclude_diag && k2 == k)
+                        || jdm.m_star[k][k2] <= m_min[k][k2]
+                    {
+                        None
+                    } else {
+                        Some(jdm.delta_minus(k, k2))
+                    }
+                });
+                match pick {
+                    Some(k2) => {
+                        jdm.dec(k, k2);
+                        s[k] -= TargetJdm::mu(k, k2) as i64;
+                        if k2 != k {
+                            s[k2] -= 1;
+                        }
+                    }
+                    None => {
+                        // Shift toward adjustment-by-increase by raising
+                        // the target sum.
+                        if k == 1 {
+                            dv.bump(1, 2);
+                        } else {
+                            dv.bump(k, 1);
+                        }
+                    }
+                }
+            }
+        }
+        processed[k] = true;
+    }
+}
+
+/// Modification step (Algorithm 4): raise `m*(k1,k2)` up to the
+/// subgraph's `m'(k1,k2)`, compensating each unit increase by decreasing
+/// a donor entry in row `k1` and one in row `k2` (both strictly above
+/// their own subgraph counts) and crediting the donors' crossing entry,
+/// so the marginals and the total edge count are retained whenever donors
+/// exist.
+fn modify_for_subgraph(jdm: &mut TargetJdm, rng: &mut Xoshiro256pp) {
+    let k_max = jdm.k_max;
+    for k1 in 1..=k_max {
+        for k2 in k1..=k_max {
+            while jdm.m_star[k1][k2] < jdm.m_prime[k1][k2] {
+                jdm.inc(k1, k2);
+                let k3 = pick_min(1..=k_max, rng, |k| {
+                    if k != k1 && jdm.m_star[k1][k] > jdm.m_prime[k1][k] {
+                        Some(jdm.delta_minus(k1, k))
+                    } else {
+                        None
+                    }
+                });
+                if let Some(k3) = k3 {
+                    jdm.dec(k1, k3);
+                }
+                let k4 = pick_min(1..=k_max, rng, |k| {
+                    if k != k2 && jdm.m_star[k2][k] > jdm.m_prime[k2][k] {
+                        Some(jdm.delta_minus(k2, k))
+                    } else {
+                        None
+                    }
+                });
+                if let Some(k4) = k4 {
+                    jdm.dec(k2, k4);
+                }
+                if let (Some(k3), Some(k4)) = (k3, k4) {
+                    let (a, b) = if k3 <= k4 { (k3, k4) } else { (k4, k3) };
+                    jdm.inc(a, b);
+                }
+            }
+        }
+    }
+}
+
+/// Selects the key with minimum value among candidates, breaking ties
+/// uniformly at random (the paper's tie rule for the JDM algorithms).
+fn pick_min<I, F>(range: I, rng: &mut Xoshiro256pp, mut value: F) -> Option<usize>
+where
+    I: IntoIterator<Item = usize>,
+    F: FnMut(usize) -> Option<f64>,
+{
+    let mut best: Option<(usize, f64)> = None;
+    let mut ties = 0usize;
+    for k in range {
+        let Some(v) = value(k) else { continue };
+        match best {
+            None => {
+                best = Some((k, v));
+                ties = 1;
+            }
+            Some((_, bv)) => {
+                if v < bv {
+                    best = Some((k, v));
+                    ties = 1;
+                } else if v == bv {
+                    ties += 1;
+                    if rng.gen_range(ties) == 0 {
+                        best = Some((k, v));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target_dv;
+    use sgr_sample::{random_walk, AccessModel};
+
+    fn setup(n: usize, frac: f64, seed: u64) -> (Subgraph, Estimates) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g = sgr_gen::holme_kim(n, 3, 0.5, &mut rng).unwrap();
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let target = ((n as f64 * frac) as usize).max(3);
+        let crawl = random_walk(&mut am, start, target, &mut rng);
+        (crawl.subgraph(), sgr_estimate::estimate_all(&crawl).unwrap())
+    }
+
+    /// Verifies the four JDM realizability conditions after the build.
+    fn assert_conditions(jdm: &TargetJdm, dv: &TargetDv) {
+        // JDM-2: symmetry.
+        for k in 1..=jdm.k_max {
+            for k2 in 1..=jdm.k_max {
+                assert_eq!(jdm.m_star[k][k2], jdm.m_star[k2][k], "asym at ({k},{k2})");
+            }
+        }
+        // JDM-3: marginals equal k·n*(k).
+        for k in 1..=jdm.k_max {
+            assert_eq!(
+                jdm.marginal(k),
+                k as u64 * dv.n_star[k],
+                "marginal broken at k = {k}"
+            );
+        }
+        // JDM-4: m* dominates the subgraph's m'.
+        for k in 1..=jdm.k_max {
+            for k2 in 1..=jdm.k_max {
+                assert!(
+                    jdm.m_star[k][k2] >= jdm.m_prime[k][k2],
+                    "JDM-4 broken at ({k},{k2})"
+                );
+            }
+        }
+        // DV-2 still holds (even degree sum).
+        assert_eq!(dv.degree_sum() % 2, 0);
+        // DV-3 still holds.
+        for k in 0..=dv.k_max {
+            assert!(dv.n_star[k] >= dv.n_prime[k]);
+        }
+    }
+
+    #[test]
+    fn all_conditions_hold_across_seeds() {
+        for seed in 0..6 {
+            let (sg, est) = setup(500, 0.1, seed);
+            let mut rng = Xoshiro256pp::seed_from_u64(seed + 50);
+            let mut dv = target_dv::build(&sg, &est, &mut rng);
+            let jdm = build(&sg, &est, &mut dv, &mut rng);
+            assert_conditions(&jdm, &dv);
+        }
+    }
+
+    #[test]
+    fn gjoka_conditions_hold() {
+        let (_, est) = setup(500, 0.1, 20);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let mut dv = target_dv::build_gjoka(&est);
+        let jdm = build_gjoka(&est, &mut dv, &mut rng);
+        // JDM-2 and JDM-3 hold; m_prime is all zeros.
+        for k in 1..=jdm.k_max {
+            assert_eq!(jdm.marginal(k), k as u64 * dv.n_star[k]);
+            for k2 in 1..=jdm.k_max {
+                assert_eq!(jdm.m_star[k][k2], jdm.m_star[k2][k]);
+                assert_eq!(jdm.m_prime[k][k2], 0);
+            }
+        }
+        assert_eq!(dv.degree_sum() % 2, 0);
+    }
+
+    #[test]
+    fn subgraph_jdm_uses_target_degrees() {
+        let (sg, est) = setup(400, 0.1, 30);
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let dv = target_dv::build(&sg, &est, &mut rng);
+        let m = measure_subgraph_jdm(&sg, &dv);
+        let total: u64 = (1..=dv.k_max)
+            .flat_map(|k| {
+                let row = &m[k];
+                (k..=dv.k_max).map(move |k2| row[k2])
+            })
+            .sum();
+        assert_eq!(total, sg.num_edges() as u64);
+        // Marginal identity against the assigned degrees:
+        // Σ_{k'} µ m'(k,k') = Σ_{i: d*_i = k} d'_i.
+        // (Indexed loop: k is a degree, not just an index into m.)
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..=dv.k_max {
+            let lhs: u64 = (1..=dv.k_max)
+                .map(|k2| TargetJdm::mu(k, k2) * m[k][k2])
+                .sum();
+            let rhs: u64 = sg
+                .graph
+                .nodes()
+                .filter(|&u| dv.d_star[u as usize] as usize == k)
+                .map(|u| sg.graph.degree(u) as u64)
+                .sum();
+            assert_eq!(lhs, rhs, "m' marginal mismatch at k = {k}");
+        }
+    }
+
+    #[test]
+    fn pick_min_prefers_smallest_and_randomizes_ties() {
+        let mut rng = Xoshiro256pp::seed_from_u64(40);
+        let vals = [3.0, 1.0, 2.0, 1.0];
+        let mut hits = [0usize; 4];
+        for _ in 0..2000 {
+            let k = pick_min(0..4, &mut rng, |i| Some(vals[i])).unwrap();
+            hits[k] += 1;
+        }
+        assert_eq!(hits[0], 0);
+        assert_eq!(hits[2], 0);
+        assert!(hits[1] > 800 && hits[3] > 800, "ties not randomized: {hits:?}");
+        assert!(pick_min(0..4, &mut rng, |_| None::<f64>).is_none());
+    }
+
+    #[test]
+    fn num_edges_matches_half_degree_sum() {
+        let (sg, est) = setup(400, 0.12, 50);
+        let mut rng = Xoshiro256pp::seed_from_u64(51);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let jdm = build(&sg, &est, &mut dv, &mut rng);
+        assert_eq!(2 * jdm.num_edges(), dv.degree_sum());
+    }
+}

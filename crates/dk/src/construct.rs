@@ -1,0 +1,241 @@
+//! Stub-matching construction: wiring free half-edges class by class.
+//!
+//! This is the engine behind both the paper's Algorithm 5 (extend the
+//! sampled subgraph to the target degree vector / joint degree matrix) and
+//! the from-empty construction used by Gjoka et al.'s method and the 2K
+//! generator: each node with target degree `d*` and current degree `d`
+//! gets `d* - d` free half-edges ("stubs"), and for every degree pair
+//! `(k, k')` the requested number of edges is created by connecting a
+//! uniformly random free stub of class `k` with one of class `k'`.
+
+use crate::extract::JointDegreeMatrix;
+use sgr_graph::{Graph, NodeId};
+use sgr_util::Xoshiro256pp;
+
+/// Errors from stub matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DkError {
+    /// A node's target degree is below its current degree.
+    TargetBelowCurrent { node: NodeId, current: usize, target: usize },
+    /// A degree class ran out of free stubs while wiring `(k, k')`.
+    OutOfStubs { k: u32, k2: u32 },
+    /// Free stubs remained after wiring every requested edge, i.e. the
+    /// inputs violated the marginal identity (JDM-3).
+    LeftoverStubs { count: usize },
+}
+
+impl std::fmt::Display for DkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DkError::TargetBelowCurrent { node, current, target } => write!(
+                f,
+                "node {node} has degree {current} above its target {target}"
+            ),
+            DkError::OutOfStubs { k, k2 } => {
+                write!(f, "no free stub left while wiring degree pair ({k}, {k2})")
+            }
+            DkError::LeftoverStubs { count } => {
+                write!(f, "{count} free stubs left unwired (JDM-3 violated)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DkError {}
+
+/// Wires stubs on top of `g` (possibly non-empty), in place.
+///
+/// * `target_deg[u]` — the target degree `d*_u` of every node;
+/// * `add[(k, k')]` — how many **new** edges to create between target-
+///   degree classes `k` and `k'` (upper-triangular keys `k ≤ k'` are
+///   read; symmetric duplicates are ignored).
+///
+/// Returns the list of added edges (the rewiring phase's candidate set).
+/// On success the graph preserves `target_deg` exactly, and its JDM (with
+/// respect to *target* degrees) equals the prior JDM plus `add`.
+pub fn wire_stubs(
+    g: &mut Graph,
+    target_deg: &[u32],
+    add: &JointDegreeMatrix,
+    rng: &mut Xoshiro256pp,
+) -> Result<Vec<(NodeId, NodeId)>, DkError> {
+    assert_eq!(target_deg.len(), g.num_nodes(), "target length mismatch");
+    let k_max = target_deg.iter().copied().max().unwrap_or(0) as usize;
+    // Stub pools per target-degree class: node id repeated once per free
+    // half-edge.
+    let mut stubs: Vec<Vec<NodeId>> = vec![Vec::new(); k_max + 1];
+    let mut total_stubs = 0usize;
+    for u in g.nodes() {
+        let cur = g.degree(u);
+        let tgt = target_deg[u as usize] as usize;
+        if tgt < cur {
+            return Err(DkError::TargetBelowCurrent {
+                node: u,
+                current: cur,
+                target: tgt,
+            });
+        }
+        for _ in 0..(tgt - cur) {
+            stubs[tgt].push(u);
+        }
+        total_stubs += tgt - cur;
+    }
+    // Deterministic iteration order over the requested pairs.
+    let mut pairs: Vec<((u32, u32), u64)> = add
+        .iter()
+        .filter(|(&(k, k2), &c)| k <= k2 && c > 0)
+        .map(|(&kk, &c)| (kk, c))
+        .collect();
+    pairs.sort_unstable();
+    let mut added: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.iter().map(|&(_, c)| c as usize).sum());
+    for ((k, k2), count) in pairs {
+        for _ in 0..count {
+            let (u, v) = if k == k2 {
+                let pool_len = stubs[k as usize].len();
+                if pool_len < 2 {
+                    return Err(DkError::OutOfStubs { k, k2 });
+                }
+                let i = rng.gen_range(pool_len);
+                let mut j = rng.gen_range(pool_len - 1);
+                if j >= i {
+                    j += 1;
+                }
+                // Remove the higher index first so the lower stays valid.
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                let u = stubs[k as usize].swap_remove(hi);
+                let v = stubs[k as usize].swap_remove(lo);
+                (u, v)
+            } else {
+                if stubs[k as usize].is_empty() || stubs[k2 as usize].is_empty() {
+                    return Err(DkError::OutOfStubs { k, k2 });
+                }
+                let i = rng.gen_range(stubs[k as usize].len());
+                let j = rng.gen_range(stubs[k2 as usize].len());
+                let u = stubs[k as usize].swap_remove(i);
+                let v = stubs[k2 as usize].swap_remove(j);
+                (u, v)
+            };
+            g.add_edge(u, v);
+            added.push(if u <= v { (u, v) } else { (v, u) });
+            total_stubs -= 2;
+        }
+    }
+    if total_stubs != 0 {
+        return Err(DkError::LeftoverStubs { count: total_stubs });
+    }
+    Ok(added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{joint_degree_matrix, jdm_matches_degree_vector};
+    use sgr_util::FxHashMap;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(99)
+    }
+
+    #[test]
+    fn build_star_from_empty() {
+        let mut g = Graph::with_nodes(5);
+        let target = [4u32, 1, 1, 1, 1];
+        let mut add: JointDegreeMatrix = FxHashMap::default();
+        add.insert((1, 4), 4);
+        add.insert((4, 1), 4); // symmetric duplicate must be ignored
+        let edges = wire_stubs(&mut g, &target, &add, &mut rng()).unwrap();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(g.degree(0), 4);
+        for u in 1..5 {
+            assert_eq!(g.degree(u), 1);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn extend_existing_subgraph() {
+        // Path 0-1-2 exists; extend so that all five nodes reach degree 2
+        // by adding (2,2)-class edges.
+        let mut g = Graph::from_edges(5, &[(0, 1), (1, 2)]);
+        let target = [2u32, 2, 2, 2, 2];
+        let mut add: JointDegreeMatrix = FxHashMap::default();
+        add.insert((2, 2), 3); // 5·2/2 = 5 edges total, 2 exist
+        wire_stubs(&mut g, &target, &add, &mut rng()).unwrap();
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+        // Original path edges are still present.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn jdm_of_result_matches_request() {
+        // From empty: degree vector {n(1)=4, n(2)=2, n(3)=2}; JDM chosen
+        // to satisfy the marginals: s(1)=4, s(2)=4, s(3)=6.
+        let mut g = Graph::with_nodes(8);
+        let target = [1u32, 1, 1, 1, 2, 2, 3, 3];
+        let mut add: JointDegreeMatrix = FxHashMap::default();
+        add.insert((1, 3), 4); // s(1): 4, s(3): 4
+        add.insert((2, 2), 1); // s(2): 2
+        add.insert((2, 3), 2); // s(2): +2 = 4, s(3): +2 = 6
+        let added = wire_stubs(&mut g, &target, &add, &mut rng()).unwrap();
+        assert_eq!(added.len(), 7);
+        let jdm = joint_degree_matrix(&g);
+        // Degrees equal targets, so measured JDM = requested.
+        assert_eq!(jdm.get(&(1, 3)).copied(), Some(4));
+        assert_eq!(jdm.get(&(2, 2)).copied(), Some(1));
+        assert_eq!(jdm.get(&(2, 3)).copied(), Some(2));
+        assert!(jdm_matches_degree_vector(&jdm, &g.degree_vector()));
+    }
+
+    #[test]
+    fn error_on_target_below_current() {
+        let mut g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        let target = [1u32, 2];
+        let add: JointDegreeMatrix = FxHashMap::default();
+        match wire_stubs(&mut g, &target, &add, &mut rng()) {
+            Err(DkError::TargetBelowCurrent { node: 0, .. }) => {}
+            other => panic!("expected TargetBelowCurrent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_out_of_stubs() {
+        let mut g = Graph::with_nodes(2);
+        let target = [1u32, 1];
+        let mut add: JointDegreeMatrix = FxHashMap::default();
+        add.insert((1, 1), 2); // needs 4 stubs, only 2 exist
+        assert!(matches!(
+            wire_stubs(&mut g, &target, &add, &mut rng()),
+            Err(DkError::OutOfStubs { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_leftover_stubs() {
+        let mut g = Graph::with_nodes(2);
+        let target = [1u32, 1];
+        let add: JointDegreeMatrix = FxHashMap::default(); // wire nothing
+        assert!(matches!(
+            wire_stubs(&mut g, &target, &add, &mut rng()),
+            Err(DkError::LeftoverStubs { count: 2 })
+        ));
+    }
+
+    #[test]
+    fn diagonal_class_needs_two_distinct_stub_slots() {
+        // Two degree-1 nodes, one (1,1) edge: must connect them (never a
+        // self-loop from picking the same stub twice).
+        for seed in 0..20 {
+            let mut g = Graph::with_nodes(2);
+            let mut r = Xoshiro256pp::seed_from_u64(seed);
+            let mut add: JointDegreeMatrix = FxHashMap::default();
+            add.insert((1, 1), 1);
+            wire_stubs(&mut g, &[1, 1], &add, &mut r).unwrap();
+            assert!(g.has_edge(0, 1));
+            assert_eq!(g.num_self_loops(), 0);
+        }
+    }
+
+    use sgr_graph::Graph;
+}

@@ -1,0 +1,163 @@
+//! Extraction of dK statistics from a graph, and the realizability
+//! conditions of §IV.
+
+use sgr_graph::{DegreeVector, Graph};
+use sgr_util::FxHashMap;
+
+/// Sparse joint degree matrix `{m(k,k')}`: `m(k,k')` is the number of
+/// edges between nodes of degree `k` and nodes of degree `k'`. Stored
+/// symmetrically (both key orders present, equal values); `m(k,k)` counts
+/// each edge (and each self-loop) once.
+pub type JointDegreeMatrix = FxHashMap<(u32, u32), u64>;
+
+/// Measures `{m(k,k')}` of a graph. Satisfies the marginal identity
+/// `Σ_{k'} µ(k,k') m(k,k') = k · n(k)` with `µ(k,k) = 2`, `µ = 1`
+/// otherwise (the paper's Eq. 3 convention; self-loops fall into
+/// `m(k,k)`).
+pub fn joint_degree_matrix(g: &Graph) -> JointDegreeMatrix {
+    let mut m: JointDegreeMatrix = FxHashMap::default();
+    for (u, v) in g.edges() {
+        let k = g.degree(u) as u32;
+        let k2 = g.degree(v) as u32;
+        let (a, b) = if k <= k2 { (k, k2) } else { (k2, k) };
+        *m.entry((a, b)).or_insert(0) += 1;
+        if a != b {
+            *m.entry((b, a)).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+/// `µ(k, k')` — 2 on the diagonal, 1 off it (Eq. 3).
+#[inline]
+pub fn mu(k: u32, k2: u32) -> u64 {
+    if k == k2 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Checks condition (DV-1): every entry nonnegative — trivially true for
+/// unsigned storage — and (DV-2): `Σ_k k · n(k)` even. Returns the degree
+/// sum.
+pub fn degree_vector_sum(dv: &DegreeVector) -> u64 {
+    dv.iter()
+        .enumerate()
+        .map(|(k, &c)| k as u64 * c as u64)
+        .sum()
+}
+
+/// Condition (DV-2): the degree sum is even (the handshake lemma's
+/// requirement for realizability).
+pub fn dv_sum_is_even(dv: &DegreeVector) -> bool {
+    degree_vector_sum(dv).is_multiple_of(2)
+}
+
+/// The per-degree marginal `s(k) = Σ_{k'} µ(k,k') m(k,k')` of a JDM.
+pub fn jdm_marginal(m: &JointDegreeMatrix, k: u32, k_max: u32) -> u64 {
+    (1..=k_max)
+        .map(|k2| mu(k, k2) * m.get(&(k, k2)).copied().unwrap_or(0))
+        .sum()
+}
+
+/// Checks condition (JDM-2): symmetry.
+pub fn jdm_is_symmetric(m: &JointDegreeMatrix) -> bool {
+    m.iter()
+        .all(|(&(k, k2), &v)| m.get(&(k2, k)).copied().unwrap_or(0) == v)
+}
+
+/// Checks condition (JDM-3) against a degree vector:
+/// `Σ_{k'} µ(k,k') m(k,k') = k n(k)` for every degree `k`.
+pub fn jdm_matches_degree_vector(m: &JointDegreeMatrix, dv: &DegreeVector) -> bool {
+    let k_max = dv.len().saturating_sub(1) as u32;
+    // Also ensure no JDM entry refers to a degree outside the vector.
+    if m.keys().any(|&(k, k2)| k > k_max || k2 > k_max || k == 0 || k2 == 0) {
+        return false;
+    }
+    (1..=k_max).all(|k| {
+        let target = k as u64 * dv.get(k as usize).copied().unwrap_or(0) as u64;
+        jdm_marginal(m, k, k_max) == target
+    })
+}
+
+/// Total number of edges implied by a JDM: `Σ_{k ≤ k'} m(k,k')`.
+pub fn jdm_num_edges(m: &JointDegreeMatrix) -> u64 {
+    m.iter()
+        .filter(|(&(k, k2), _)| k <= k2)
+        .map(|(_, &v)| v)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{complete, star};
+
+    #[test]
+    fn star_jdm() {
+        let g = star(4); // hub degree 4, leaves degree 1
+        let m = joint_degree_matrix(&g);
+        assert_eq!(m.get(&(1, 4)).copied(), Some(4));
+        assert_eq!(m.get(&(4, 1)).copied(), Some(4));
+        assert_eq!(m.get(&(1, 1)), None);
+        assert!(jdm_is_symmetric(&m));
+        assert!(jdm_matches_degree_vector(&m, &g.degree_vector()));
+        assert_eq!(jdm_num_edges(&m), 4);
+    }
+
+    #[test]
+    fn complete_graph_jdm() {
+        let g = complete(5);
+        let m = joint_degree_matrix(&g);
+        assert_eq!(m.get(&(4, 4)).copied(), Some(10));
+        assert!(jdm_matches_degree_vector(&m, &g.degree_vector()));
+        // Marginal: µ(4,4)·10 = 20 = 4·n(4) = 4·5.
+        assert_eq!(jdm_marginal(&m, 4, 4), 20);
+    }
+
+    #[test]
+    fn self_loop_and_multi_edge_accounting() {
+        // Node 0 with a loop and a double edge to node 1.
+        let mut g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        g.add_edge(0, 0);
+        // deg(0) = 4, deg(1) = 2.
+        let m = joint_degree_matrix(&g);
+        assert_eq!(m.get(&(2, 4)).copied(), Some(2));
+        assert_eq!(m.get(&(4, 4)).copied(), Some(1)); // the loop
+        assert!(jdm_matches_degree_vector(&m, &g.degree_vector()));
+    }
+
+    use sgr_graph::Graph;
+
+    #[test]
+    fn dv_conditions() {
+        let g = star(3);
+        let dv = g.degree_vector();
+        assert_eq!(degree_vector_sum(&dv), 6);
+        assert!(dv_sum_is_even(&dv));
+        let odd = vec![0, 1, 1]; // one deg-1 node, one deg-2 node: sum 3
+        assert!(!dv_sum_is_even(&odd));
+    }
+
+    #[test]
+    fn jdm_mismatch_detection() {
+        let g = star(3);
+        let mut m = joint_degree_matrix(&g);
+        m.insert((1, 3), 5); // break the marginal
+        assert!(!jdm_matches_degree_vector(&m, &g.degree_vector()));
+        let mut asym = JointDegreeMatrix::default();
+        asym.insert((1, 2), 3);
+        assert!(!jdm_is_symmetric(&asym));
+    }
+
+    #[test]
+    fn random_graph_marginals_hold() {
+        let g = sgr_gen::holme_kim(500, 3, 0.5, &mut sgr_util::Xoshiro256pp::seed_from_u64(7))
+            .unwrap();
+        let m = joint_degree_matrix(&g);
+        assert!(jdm_is_symmetric(&m));
+        assert!(jdm_matches_degree_vector(&m, &g.degree_vector()));
+        assert_eq!(jdm_num_edges(&m), g.num_edges() as u64);
+    }
+}

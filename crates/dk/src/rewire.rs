@@ -1,0 +1,581 @@
+//! The 2.5K rewiring engine (§IV-E / Algorithm 6).
+//!
+//! Given a graph whose degree vector and joint degree matrix are already
+//! correct, repeatedly pick two candidate edges `(v_i, v_j)` and
+//! `(v_{i'}, v_{j'})` whose first endpoints have **equal degree**, and
+//! swap them to `(v_i, v_{j'})`, `(v_{i'}, v_j)` iff the normalized L1
+//! distance `D` between the current degree-dependent clustering `{c̄(k)}`
+//! and the target `{ĉ̄(k)}` decreases. Equal-degree swaps preserve both
+//! the degree vector and the JDM exactly.
+//!
+//! The distinguishing feature of the proposed method is the **candidate
+//! set**: only edges *added* during construction are rewirable
+//! (`Ẽ_rew = Ẽ \ E'`), so the sampled subgraph survives rewiring
+//! unchanged and the attempt budget `R = R_C · |Ẽ_rew|` shrinks. Gjoka et
+//! al.'s variant passes every edge as a candidate.
+//!
+//! Per-attempt cost is O(k̄²) on average: the swap's effect on every
+//! node's triangle count `t_i` is computed incrementally from common
+//! neighborhoods (never a global recount), and `D` is updated only at the
+//! affected degrees.
+
+use sgr_graph::index::MultiplicityIndex;
+use sgr_graph::{Graph, NodeId};
+use sgr_props::triangles::triangle_counts_with_index;
+use sgr_util::{FxHashMap, Xoshiro256pp};
+
+/// Statistics from a rewiring run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RewireStats {
+    /// Total swap attempts.
+    pub attempts: u64,
+    /// Accepted swaps (those that lowered `D`).
+    pub accepted: u64,
+    /// Attempts skipped because a swap would have created a self-loop or
+    /// no valid partner edge existed.
+    pub skipped: u64,
+    /// `D` before the run.
+    pub initial_distance: f64,
+    /// `D` after the run.
+    pub final_distance: f64,
+}
+
+/// The rewiring engine. Owns the graph while rewiring;
+/// [`into_graph`](RewireEngine::into_graph) releases it.
+pub struct RewireEngine {
+    graph: Graph,
+    idx: MultiplicityIndex,
+    /// Per-node triangle counts `t_i` (signed for incremental updates).
+    t: Vec<i64>,
+    /// Node degrees (invariant under rewiring).
+    deg: Vec<u32>,
+    /// `n(k)` — number of nodes of each degree.
+    nk: Vec<u64>,
+    /// `S(k) = Σ_{deg i = k} 2 t_i / (k (k-1))`, so `c̄(k) = S(k)/n(k)`.
+    s: Vec<f64>,
+    /// Target `ĉ̄(k)`, zero-padded to the degree range.
+    target: Vec<f64>,
+    /// `Σ_k ĉ̄(k)` — the normalization of `D`.
+    norm: f64,
+    /// Current **unnormalized** distance `Σ_k |c̄(k) - ĉ̄(k)|`.
+    dist_raw: f64,
+    /// Candidate edge slots (the rewirable multiset `Ẽ_rew`).
+    slots: Vec<(NodeId, NodeId)>,
+    /// `buckets[k]` — (slot, side) pairs whose endpoint has degree `k`.
+    buckets: Vec<Vec<(u32, u8)>>,
+    /// `pos[slot][side]` — index of that (slot, side) in its bucket.
+    pos: Vec<[u32; 2]>,
+}
+
+impl RewireEngine {
+    /// Creates an engine over `graph` with rewirable edge multiset
+    /// `candidates` (each entry one edge instance present in the graph)
+    /// and target clustering `target_c` (indexed by degree).
+    ///
+    /// For the proposed method, `candidates` is the set of edges *added*
+    /// by the construction phase; for Gjoka et al.'s method it is every
+    /// edge of the graph.
+    pub fn new(graph: Graph, candidates: Vec<(NodeId, NodeId)>, target_c: &[f64]) -> Self {
+        let idx = MultiplicityIndex::build(&graph);
+        let t: Vec<i64> = triangle_counts_with_index(&graph, &idx)
+            .into_iter()
+            .map(|x| x as i64)
+            .collect();
+        let deg: Vec<u32> = graph.nodes().map(|u| graph.degree(u) as u32).collect();
+        let k_max = deg.iter().copied().max().unwrap_or(0) as usize;
+        let k_cap = k_max.max(target_c.len().saturating_sub(1));
+        let mut nk = vec![0u64; k_cap + 1];
+        for &d in &deg {
+            nk[d as usize] += 1;
+        }
+        let mut s = vec![0.0f64; k_cap + 1];
+        for (u, &d) in deg.iter().enumerate() {
+            if d >= 2 {
+                s[d as usize] += 2.0 * t[u] as f64 / (d as f64 * (d as f64 - 1.0));
+            }
+        }
+        let mut target = vec![0.0f64; k_cap + 1];
+        for (k, &c) in target_c.iter().enumerate() {
+            if k <= k_cap {
+                target[k] = c;
+            }
+        }
+        let norm: f64 = target.iter().sum();
+        let dist_raw: f64 = (0..=k_cap)
+            .map(|k| {
+                let cur = if nk[k] > 0 { s[k] / nk[k] as f64 } else { 0.0 };
+                (cur - target[k]).abs()
+            })
+            .sum();
+        // Buckets over candidate endpoints.
+        let mut buckets: Vec<Vec<(u32, u8)>> = vec![Vec::new(); k_cap + 1];
+        let mut pos = vec![[0u32; 2]; candidates.len()];
+        for (slot, &(a, b)) in candidates.iter().enumerate() {
+            for (side, node) in [(0u8, a), (1u8, b)] {
+                let k = deg[node as usize] as usize;
+                pos[slot][side as usize] = buckets[k].len() as u32;
+                buckets[k].push((slot as u32, side));
+            }
+        }
+        Self {
+            graph,
+            idx,
+            t,
+            deg,
+            nk,
+            s,
+            target,
+            norm,
+            dist_raw,
+            slots: candidates,
+            buckets,
+            pos,
+        }
+    }
+
+    /// Current normalized distance `D` (unnormalized L1 if the target has
+    /// zero mass).
+    pub fn distance(&self) -> f64 {
+        if self.norm > 0.0 {
+            self.dist_raw / self.norm
+        } else {
+            self.dist_raw
+        }
+    }
+
+    /// Number of rewirable edge slots `|Ẽ_rew|`.
+    pub fn num_candidates(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current `c̄(k)` of the evolving graph.
+    pub fn current_clustering(&self) -> Vec<f64> {
+        self.s
+            .iter()
+            .zip(self.nk.iter())
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect()
+    }
+
+    /// Runs `R = ceil(rc · |Ẽ_rew|)` attempts (§IV-E; the paper uses
+    /// `R_C = 500`).
+    pub fn run(&mut self, rc: f64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let attempts = (rc * self.slots.len() as f64).ceil() as u64;
+        self.run_attempts(attempts, rng)
+    }
+
+    /// Runs exactly `attempts` swap attempts.
+    pub fn run_attempts(&mut self, attempts: u64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let mut stats = RewireStats {
+            attempts,
+            initial_distance: self.distance(),
+            ..Default::default()
+        };
+        if self.slots.len() < 2 {
+            stats.skipped = attempts;
+            stats.final_distance = self.distance();
+            return stats;
+        }
+        for _ in 0..attempts {
+            if self.attempt(rng) {
+                stats.accepted += 1;
+            } else {
+                stats.skipped += 1; // rejected or structurally skipped
+            }
+        }
+        stats.final_distance = self.distance();
+        stats
+    }
+
+    /// One swap attempt; returns whether it was accepted.
+    pub fn attempt(&mut self, rng: &mut Xoshiro256pp) -> bool {
+        // Pick edge 1 and an orientation: (v_i, v_j).
+        let e1 = rng.gen_range(self.slots.len()) as u32;
+        let side1 = rng.gen_range(2) as u8;
+        let (a1, b1) = self.slots[e1 as usize];
+        let (vi, vj) = if side1 == 0 { (a1, b1) } else { (b1, a1) };
+        // Pick edge 2 with an endpoint of equal degree.
+        let k = self.deg[vi as usize] as usize;
+        let bucket = &self.buckets[k];
+        if bucket.len() < 2 {
+            return false;
+        }
+        let (e2, side2) = bucket[rng.gen_range(bucket.len())];
+        if e2 == e1 {
+            return false;
+        }
+        let (a2, b2) = self.slots[e2 as usize];
+        let (vi2, vj2) = if side2 == 0 { (a2, b2) } else { (b2, a2) };
+        debug_assert_eq!(self.deg[vi as usize], self.deg[vi2 as usize]);
+        // Proposed swap: (vi, vj), (vi2, vj2) -> (vi, vj2), (vi2, vj).
+        // Reject self-loops (they would change degrees) and no-ops.
+        if vi == vj2 || vi2 == vj {
+            return false;
+        }
+        if vj == vj2 {
+            return false; // swap is a no-op
+        }
+
+        // Apply the four edge toggles incrementally, tracking Δt and the
+        // affected degree classes; roll back if D does not improve.
+        let mut touched: FxHashMap<NodeId, i64> = FxHashMap::default();
+        self.toggle_edge(vi, vj, -1, &mut touched);
+        self.toggle_edge(vi2, vj2, -1, &mut touched);
+        self.toggle_edge(vi, vj2, 1, &mut touched);
+        self.toggle_edge(vi2, vj, 1, &mut touched);
+
+        // Fold the triangle deltas into t and S(k).
+        for (&node, &dt) in touched.iter() {
+            if dt == 0 {
+                continue;
+            }
+            let d = self.deg[node as usize] as usize;
+            if d < 2 {
+                continue; // degree-<2 nodes always have dt == 0 anyway
+            }
+            self.s[d] += 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
+            self.t[node as usize] += dt;
+        }
+        // Recompute the distance terms of the affected degrees exactly
+        // (several touched nodes may share a degree).
+        let mut affected: Vec<usize> = touched
+            .iter()
+            .filter(|&(_, &dt)| dt != 0)
+            .map(|(&node, _)| self.deg[node as usize] as usize)
+            .filter(|&d| d >= 2)
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let mut new_raw = self.dist_raw;
+        for &d in &affected {
+            // Old term: recompute from S(k) *before* this attempt by
+            // undoing the node deltas of this degree.
+            let mut old_s = self.s[d];
+            for (&node, &dt) in touched.iter() {
+                if self.deg[node as usize] as usize == d && dt != 0 {
+                    old_s -= 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
+                }
+            }
+            let nk = self.nk[d] as f64;
+            new_raw -= (old_s / nk - self.target[d]).abs();
+            new_raw += (self.s[d] / nk - self.target[d]).abs();
+        }
+
+        if new_raw < self.dist_raw {
+            // Accept: commit slot endpoints and bucket bookkeeping.
+            self.dist_raw = new_raw;
+            self.commit_swap(e1, side1, e2, side2);
+            true
+        } else {
+            // Reject: roll back triangle counts, S(k), and the graph.
+            for (&node, &dt) in touched.iter() {
+                if dt == 0 {
+                    continue;
+                }
+                let d = self.deg[node as usize] as usize;
+                self.t[node as usize] -= dt;
+                if d >= 2 {
+                    self.s[d] -= 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
+                }
+            }
+            let mut untouched: FxHashMap<NodeId, i64> = FxHashMap::default();
+            self.toggle_edge(vi, vj2, -1, &mut untouched);
+            self.toggle_edge(vi2, vj, -1, &mut untouched);
+            self.toggle_edge(vi, vj, 1, &mut untouched);
+            self.toggle_edge(vi2, vj2, 1, &mut untouched);
+            false
+        }
+    }
+
+    /// Adds (`sign = +1`) or removes (`-1`) one copy of edge `{u, v}`
+    /// (`u ≠ v`), updating graph + index and accumulating triangle deltas
+    /// into `touched`. Δt is evaluated on the *pre-toggle* adjacency for
+    /// removals and post-toggle for additions, which a uniform rule
+    /// captures: count common neighbors excluding the edge copy being
+    /// toggled — i.e. compute on the state *without* that copy.
+    fn toggle_edge(&mut self, u: NodeId, v: NodeId, sign: i64, touched: &mut FxHashMap<NodeId, i64>) {
+        if u == v {
+            // A self-loop slot being dissolved (or, never in practice,
+            // created): loops take part in no triangle, so only the graph
+            // and index change.
+            if sign < 0 {
+                self.graph.remove_edge(u, u);
+                self.idx.remove_edge(u, u);
+            } else {
+                self.graph.add_edge(u, u);
+                self.idx.add_edge(u, u);
+            }
+            return;
+        }
+        if sign < 0 {
+            self.graph.remove_edge(u, v);
+            self.idx.remove_edge(u, v);
+        }
+        // Common-neighbor scan on the state without the toggled copy.
+        // Iterate the endpoint with fewer distinct neighbors.
+        let (x, y) = {
+            let du = self.idx.entries(u).count();
+            let dv = self.idx.entries(v).count();
+            if du <= dv {
+                (u, v)
+            } else {
+                (v, u)
+            }
+        };
+        let mut common = 0i64;
+        // Collect to avoid holding a borrow of idx while mutating touched.
+        let entries: Vec<(NodeId, u32)> = self
+            .idx
+            .entries(x)
+            .filter(|&(w, _)| w != u && w != v)
+            .collect();
+        for (w, a_xw) in entries {
+            let a_yw = self.idx.get(y, w);
+            if a_yw > 0 {
+                let prod = a_xw as i64 * a_yw as i64;
+                common += prod;
+                *touched.entry(w).or_insert(0) += sign * prod;
+            }
+        }
+        *touched.entry(u).or_insert(0) += sign * common;
+        *touched.entry(v).or_insert(0) += sign * common;
+        if sign > 0 {
+            self.graph.add_edge(u, v);
+            self.idx.add_edge(u, v);
+        }
+    }
+
+    /// Updates slots and degree buckets after an accepted swap: slot `e1`
+    /// becomes `(v_i, v_{j'})`, slot `e2` becomes `(v_{i'}, v_j)` — i.e.
+    /// the two *second* endpoints exchange slots.
+    fn commit_swap(&mut self, e1: u32, side1: u8, e2: u32, side2: u8) {
+        let o1 = 1 - side1; // side of vj in e1
+        let o2 = 1 - side2; // side of vj' in e2
+        let vj = endpoint(self.slots[e1 as usize], o1);
+        let vj2 = endpoint(self.slots[e2 as usize], o2);
+        set_endpoint(&mut self.slots[e1 as usize], o1, vj2);
+        set_endpoint(&mut self.slots[e2 as usize], o2, vj);
+        // Bucket bookkeeping: the entries (e1, o1) and (e2, o2) now refer
+        // to nodes of possibly different degrees; swap their bucket
+        // residency if the degrees differ.
+        let k_j = self.deg[vj as usize] as usize;
+        let k_j2 = self.deg[vj2 as usize] as usize;
+        if k_j != k_j2 {
+            let p1 = self.pos[e1 as usize][o1 as usize]; // in buckets[k_j]
+            let p2 = self.pos[e2 as usize][o2 as usize]; // in buckets[k_j2]
+            // (e1, o1) moves to bucket[k_j2]; (e2, o2) moves to bucket[k_j].
+            self.buckets[k_j][p1 as usize] = (e2, o2);
+            self.buckets[k_j2][p2 as usize] = (e1, o1);
+            self.pos[e2 as usize][o2 as usize] = p1;
+            self.pos[e1 as usize][o1 as usize] = p2;
+        }
+    }
+
+    /// Releases the rewired graph.
+    pub fn into_graph(self) -> Graph {
+        self.graph
+    }
+
+    /// Consistency check used by tests: recomputes every maintained
+    /// quantity from scratch and compares.
+    pub fn validate(&self) -> Result<(), String> {
+        self.idx
+            .validate_against(&self.graph)
+            .map_err(|e| format!("index: {e}"))?;
+        let t_fresh = triangle_counts_with_index(&self.graph, &self.idx);
+        for (u, (&have, &want)) in self.t.iter().zip(t_fresh.iter()).enumerate() {
+            if have != want as i64 {
+                return Err(format!("t[{u}] = {have}, recount = {want}"));
+            }
+        }
+        for (u, &d) in self.deg.iter().enumerate() {
+            if self.graph.degree(u as NodeId) != d as usize {
+                return Err(format!("degree of {u} changed"));
+            }
+        }
+        // Slots must all exist in the graph.
+        let mut counts: FxHashMap<(NodeId, NodeId), u32> = FxHashMap::default();
+        for &(a, b) in &self.slots {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        for (&(a, b), &c) in counts.iter() {
+            if self.idx.get(a, b) < c {
+                return Err(format!("slot edge ({a},{b}) ×{c} missing from graph"));
+            }
+        }
+        // Bucket positions are mutually consistent.
+        for (slot, sides) in self.pos.iter().enumerate() {
+            for (side, &p) in sides.iter().enumerate() {
+                let node = endpoint(self.slots[slot], side as u8);
+                let k = self.deg[node as usize] as usize;
+                if self.buckets[k].get(p as usize) != Some(&(slot as u32, side as u8)) {
+                    return Err(format!("bucket pos broken for slot {slot} side {side}"));
+                }
+            }
+        }
+        // Distance matches a fresh computation.
+        let mut raw = 0.0f64;
+        for k in 0..self.s.len() {
+            let cur = if self.nk[k] > 0 {
+                self.s[k] / self.nk[k] as f64
+            } else {
+                0.0
+            };
+            raw += (cur - self.target[k]).abs();
+        }
+        if (raw - self.dist_raw).abs() > 1e-6 * raw.abs().max(1.0) {
+            return Err(format!("distance drift: cached {} vs fresh {raw}", self.dist_raw));
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn endpoint(e: (NodeId, NodeId), side: u8) -> NodeId {
+    if side == 0 {
+        e.0
+    } else {
+        e.1
+    }
+}
+
+#[inline]
+fn set_endpoint(e: &mut (NodeId, NodeId), side: u8, node: NodeId) {
+    if side == 0 {
+        e.0 = node;
+    } else {
+        e.1 = node;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::joint_degree_matrix;
+    use sgr_props::local::LocalProperties;
+
+    fn social(seed: u64) -> Graph {
+        sgr_gen::holme_kim(300, 3, 0.6, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn rewiring_preserves_dv_and_jdm() {
+        let g = social(1);
+        let dv_before = g.degree_vector();
+        let jdm_before = joint_degree_matrix(&g);
+        let edges: Vec<_> = g.edges().collect();
+        // Target: zero clustering everywhere (forces lots of accepted
+        // swaps that destroy triangles).
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let stats = eng.run_attempts(5_000, &mut rng);
+        assert!(stats.accepted > 0, "no swap accepted");
+        assert!(stats.final_distance < stats.initial_distance);
+        eng.validate().unwrap();
+        let g2 = eng.into_graph();
+        assert_eq!(g2.degree_vector(), dv_before);
+        assert_eq!(joint_degree_matrix(&g2), jdm_before);
+        g2.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_toward_own_clustering_is_a_fixed_point_distance_zero() {
+        let g = social(3);
+        let props = LocalProperties::compute(&g);
+        let edges: Vec<_> = g.edges().collect();
+        let eng = RewireEngine::new(g, edges, &props.clustering_by_degree);
+        assert!(eng.distance() < 1e-9, "D = {}", eng.distance());
+    }
+
+    #[test]
+    fn rewiring_improves_toward_foreign_target() {
+        // Start from a low-clustering graph, target the clustering of a
+        // high-clustering one with identical degree structure? Instead:
+        // target 50% of own clustering — achievable by destroying
+        // triangles.
+        let g = social(4);
+        let props = LocalProperties::compute(&g);
+        let target: Vec<f64> = props
+            .clustering_by_degree
+            .iter()
+            .map(|&c| c * 0.5)
+            .collect();
+        let edges: Vec<_> = g.edges().collect();
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let d0 = eng.distance();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        eng.run_attempts(20_000, &mut rng);
+        let d1 = eng.distance();
+        assert!(d1 < 0.5 * d0, "D went from {d0} to {d1}");
+        eng.validate().unwrap();
+    }
+
+    #[test]
+    fn protected_edges_survive() {
+        let g = social(6);
+        // Protect the first half of the edges; only the rest rewirable.
+        let all: Vec<_> = g.edges().collect();
+        let (protected, candidates) = all.split_at(all.len() / 2);
+        let protected: Vec<_> = protected.to_vec();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, candidates.to_vec(), &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        eng.run_attempts(10_000, &mut rng);
+        eng.validate().unwrap();
+        let g2 = eng.into_graph();
+        // Every protected edge still present (as a multiset lower bound).
+        let mut need: FxHashMap<(NodeId, NodeId), u32> = FxHashMap::default();
+        for &(a, b) in &protected {
+            *need.entry((a, b)).or_insert(0) += 1;
+        }
+        let idx = MultiplicityIndex::build(&g2);
+        for (&(a, b), &c) in need.iter() {
+            assert!(
+                idx.get(a, b) >= c,
+                "protected edge ({a},{b}) ×{c} lost (have {})",
+                idx.get(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn engine_state_stays_consistent_across_many_attempts() {
+        let g = social(8);
+        let props = LocalProperties::compute(&g);
+        let target: Vec<f64> = props.clustering_by_degree.iter().map(|&c| c * 0.7).collect();
+        let edges: Vec<_> = g.edges().collect();
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        for round in 0..10 {
+            eng.run_attempts(500, &mut rng);
+            eng.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+        }
+    }
+
+    #[test]
+    fn no_candidates_is_a_noop() {
+        let g = social(10);
+        let before: Vec<_> = g.edges().collect();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, Vec::new(), &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let stats = eng.run(500.0, &mut rng);
+        assert_eq!(stats.accepted, 0);
+        let g2 = eng.into_graph();
+        assert_eq!(g2.edges().collect::<Vec<_>>(), before);
+    }
+
+    #[test]
+    fn run_scales_attempts_by_rc() {
+        let g = social(12);
+        let m = g.num_edges() as u64;
+        let edges: Vec<_> = g.edges().collect();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let stats = eng.run(2.0, &mut rng);
+        assert_eq!(stats.attempts, 2 * m);
+    }
+}

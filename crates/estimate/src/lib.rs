@@ -1,0 +1,558 @@
+//! # sgr-estimate
+//!
+//! Re-weighted random walk estimators of local structural properties
+//! (§III-E of the paper).
+//!
+//! A simple random walk samples nodes with stationary probability
+//! proportional to degree; these estimators re-weight the sample to undo
+//! that bias. Implemented here, each taking only the sampling list
+//! `L = ((x_i, N(x_i)))` — never the hidden graph:
+//!
+//! * [`estimate_num_nodes`] — the collision estimator `n̂` (Hardiman &
+//!   Katzir / Katzir et al.), with pair-gap threshold `M = 0.025 r`;
+//! * [`estimate_average_degree`] — `k̄̂ = 1 / Φ̄` with
+//!   `Φ̄ = (1/r) Σ 1/d_{x_i}` (harmonic-mean estimator);
+//! * [`estimate_degree_distribution`] — `P̂(k) = Φ(k) / Φ̄`;
+//! * [`estimate_jdd`] — the hybrid joint-degree-distribution estimator
+//!   combining induced edges (IE) and traversed edges (TE) with threshold
+//!   `k + k' ≥ 2 k̄̂` (Gjoka et al.; the paper proves its asymptotic
+//!   unbiasedness in Appendix A);
+//! * [`estimate_clustering`] — the degree-dependent clustering estimator
+//!   `ĉ̄(k) = Φ_c̄(k) / Φ(k)` (Hardiman & Katzir).
+//!
+//! [`Estimates`] bundles all five; [`estimate_all`] computes them in one
+//! pass over the walk.
+
+use sgr_sample::Crawl;
+use sgr_util::{FxHashMap, FxHashSet};
+
+/// Errors from the estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The walk is too short for the requested estimator; carries the
+    /// minimum length required.
+    WalkTooShort { len: usize, need: usize },
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::WalkTooShort { len, need } => {
+                write!(f, "walk of length {len} too short; need at least {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// The fraction of the walk length used as the collision-pair gap
+/// threshold `M` (the paper follows Hardiman & Katzir and uses `0.025 r`).
+pub const PAIR_GAP_FRACTION: f64 = 0.025;
+
+/// The bundle of all five local-property estimates the restoration
+/// pipeline consumes.
+#[derive(Clone, Debug)]
+pub struct Estimates {
+    /// `n̂` — estimated number of nodes.
+    pub n_hat: f64,
+    /// `k̄̂` — estimated average degree.
+    pub avg_degree_hat: f64,
+    /// `P̂(k)` indexed by degree `k` (index 0 unused, 0.0).
+    pub degree_dist: Vec<f64>,
+    /// `P̂(k, k')` as a sparse symmetric map (both `(k,k')` and `(k',k)`
+    /// present with equal values).
+    pub jdd: FxHashMap<(u32, u32), f64>,
+    /// `ĉ̄(k)` indexed by degree `k`.
+    pub clustering: Vec<f64>,
+}
+
+impl Estimates {
+    /// `P̂(k)` with out-of-range degrees reading 0.
+    pub fn degree_prob(&self, k: usize) -> f64 {
+        self.degree_dist.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `P̂(k, k')` with missing entries reading 0.
+    pub fn jdd_prob(&self, k: u32, k2: u32) -> f64 {
+        self.jdd.get(&(k, k2)).copied().unwrap_or(0.0)
+    }
+
+    /// `ĉ̄(k)` with out-of-range degrees reading 0.
+    pub fn clustering_at(&self, k: usize) -> f64 {
+        self.clustering.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Maximum degree with positive `P̂(k)`.
+    pub fn max_degree(&self) -> usize {
+        self.degree_dist
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .unwrap_or(0)
+    }
+}
+
+/// Computes the pair-gap threshold `M = max(1, ⌊0.025 r⌋)`.
+fn pair_gap(r: usize) -> usize {
+    ((r as f64 * PAIR_GAP_FRACTION) as usize).max(1)
+}
+
+/// Number of **ordered** index pairs `(i, j)` with `1 ≤ i, j ≤ r` and
+/// `|i - j| ≥ M`.
+fn num_gap_pairs(r: usize, m: usize) -> u64 {
+    let r = r as u64;
+    let m = m as u64;
+    if m >= r {
+        return 0;
+    }
+    // Ordered pairs with |i-j| >= M: for each gap g in M..r there are
+    // 2 * (r - g) ordered pairs.
+    (m..r).map(|g| 2 * (r - g)).sum()
+}
+
+/// `n̂` — the collision estimator of the number of nodes
+/// (§III-E; Hardiman & Katzir 2013, Katzir et al. 2011):
+///
+/// `n̂ = Σ_{(i,j)∈I} d_{x_i}/d_{x_j}  /  Σ_{(i,j)∈I} 1{x_i = x_j}`
+///
+/// over ordered pairs at least `M = 0.025 r` apart. When the walk contains
+/// **no** collision pairs the estimator is undefined; this implementation
+/// falls back to the observed node count (queried + visible), the natural
+/// lower bound, which keeps short-walk pipelines total. Errors only when
+/// the walk is empty.
+pub fn estimate_num_nodes(crawl: &Crawl) -> Result<f64, EstimateError> {
+    let r = crawl.len();
+    if r == 0 {
+        return Err(EstimateError::WalkTooShort { len: 0, need: 1 });
+    }
+    let m = pair_gap(r);
+    let degrees: Vec<f64> = (0..r).map(|i| crawl.degree_of_step(i) as f64).collect();
+    // Numerator: Σ over ordered pairs d_i / d_j with |i-j| >= M.
+    // = Σ_i d_i * (T - W_i) where T = Σ 1/d_j and W_i = Σ_{|i-j|<M} 1/d_j,
+    // computed with a prefix-sum of 1/d.
+    let inv: Vec<f64> = degrees.iter().map(|&d| 1.0 / d.max(1.0)).collect();
+    let mut prefix = vec![0.0f64; r + 1];
+    for i in 0..r {
+        prefix[i + 1] = prefix[i] + inv[i];
+    }
+    let total_inv = prefix[r];
+    let mut numerator = 0.0f64;
+    for (i, &deg_i) in degrees.iter().enumerate() {
+        let lo = i.saturating_sub(m - 1);
+        let hi = (i + m).min(r); // window [lo, hi) has |i-j| < M
+        let near = prefix[hi] - prefix[lo];
+        numerator += deg_i * (total_inv - near);
+    }
+    // Denominator: ordered collision pairs with gap >= M.
+    let mut positions: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for (i, &x) in crawl.seq.iter().enumerate() {
+        positions.entry(x).or_default().push(i);
+    }
+    let mut collisions: u64 = 0;
+    for list in positions.values() {
+        // Two-pointer count of unordered pairs with gap >= M.
+        let mut lo = 0usize;
+        for hi in 0..list.len() {
+            while list[hi] - list[lo] >= m {
+                lo += 1;
+            }
+            collisions += lo as u64; // pairs (list[0..lo], list[hi])
+        }
+    }
+    let collisions = collisions * 2; // ordered
+    if collisions == 0 {
+        // Fallback: the number of distinct observed nodes.
+        let mut observed: FxHashSet<u32> = FxHashSet::default();
+        for (&q, ns) in crawl.neighbors.iter() {
+            observed.insert(q);
+            observed.extend(ns.iter().copied());
+        }
+        return Ok(observed.len() as f64);
+    }
+    Ok(numerator / collisions as f64)
+}
+
+/// `k̄̂ = 1 / Φ̄` with `Φ̄ = (1/r) Σ_i 1/d_{x_i}` (§III-E).
+pub fn estimate_average_degree(crawl: &Crawl) -> Result<f64, EstimateError> {
+    let r = crawl.len();
+    if r == 0 {
+        return Err(EstimateError::WalkTooShort { len: 0, need: 1 });
+    }
+    let phi_bar: f64 = (0..r)
+        .map(|i| 1.0 / (crawl.degree_of_step(i) as f64).max(1.0))
+        .sum::<f64>()
+        / r as f64;
+    Ok(1.0 / phi_bar)
+}
+
+/// `P̂(k) = Φ(k) / Φ̄` with `Φ(k) = (1/(k r)) Σ_i 1{d_{x_i} = k}`
+/// (§III-E). Returns a vector indexed by degree.
+pub fn estimate_degree_distribution(crawl: &Crawl) -> Result<Vec<f64>, EstimateError> {
+    let r = crawl.len();
+    if r == 0 {
+        return Err(EstimateError::WalkTooShort { len: 0, need: 1 });
+    }
+    let max_deg = (0..r).map(|i| crawl.degree_of_step(i)).max().unwrap_or(0);
+    let mut counts = vec![0u64; max_deg + 1];
+    let mut phi_bar = 0.0f64;
+    for i in 0..r {
+        let d = crawl.degree_of_step(i);
+        counts[d] += 1;
+        phi_bar += 1.0 / (d as f64).max(1.0);
+    }
+    phi_bar /= r as f64;
+    let mut dist = vec![0.0f64; max_deg + 1];
+    for (k, &c) in counts.iter().enumerate().skip(1) {
+        if c > 0 {
+            let phi_k = c as f64 / (k as f64 * r as f64);
+            dist[k] = phi_k / phi_bar;
+        }
+    }
+    Ok(dist)
+}
+
+/// The hybrid joint-degree-distribution estimator `P̂(k, k')` (§III-E):
+/// induced-edges (IE) for high-degree pairs (`k + k' ≥ 2 k̄̂`),
+/// traversed-edges (TE) otherwise. The returned map is symmetric.
+///
+/// Needs `r ≥ 2` (TE uses consecutive pairs) and uses the same gap
+/// threshold `M` as the size estimator for IE pairs.
+pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, EstimateError> {
+    let r = crawl.len();
+    if r < 2 {
+        return Err(EstimateError::WalkTooShort { len: r, need: 2 });
+    }
+    let n_hat = estimate_num_nodes(crawl)?;
+    let k_hat = estimate_average_degree(crawl)?;
+    let m = pair_gap(r);
+    let num_pairs = num_gap_pairs(r, m);
+
+    // --- IE: Φ(k,k') = 1/(k k' |I|) Σ_{(i,j)∈I} 1{d=k, d=k'} A_{x_i x_j}.
+    // Iterate positions i; for each neighbor u of x_i that appears in the
+    // walk, count positions j of u with |i - j| >= M by binary search.
+    let mut positions: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for (i, &x) in crawl.seq.iter().enumerate() {
+        positions.entry(x).or_default().push(i);
+    }
+    let mut ie_raw: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    if num_pairs > 0 {
+        for (i, &x) in crawl.seq.iter().enumerate() {
+            let k = crawl.degree_of_step(i) as u32;
+            for &u in crawl.neighbors_of(x) {
+                let Some(list) = positions.get(&u) else {
+                    continue;
+                };
+                // j <= i - M  or  j >= i + M
+                let left = list.partition_point(|&j| j + m <= i);
+                let right = list.len() - list.partition_point(|&j| j < i + m);
+                let cnt = (left + right) as f64;
+                if cnt > 0.0 {
+                    let k2 = crawl.neighbors_of(u).len() as u32;
+                    *ie_raw.entry((k, k2)).or_insert(0.0) += cnt;
+                }
+            }
+        }
+    }
+
+    // --- TE: consecutive pairs, both orientations.
+    let mut te: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let te_norm = 1.0 / (2.0 * (r as f64 - 1.0));
+    for i in 0..r - 1 {
+        let k = crawl.degree_of_step(i) as u32;
+        let k2 = crawl.degree_of_step(i + 1) as u32;
+        *te.entry((k, k2)).or_insert(0.0) += te_norm;
+        *te.entry((k2, k)).or_insert(0.0) += te_norm;
+    }
+
+    // --- Hybrid with threshold 2 k̄̂.
+    let mut out: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let threshold = 2.0 * k_hat;
+    if num_pairs > 0 {
+        for (&(k, k2), &raw) in ie_raw.iter() {
+            if (k + k2) as f64 >= threshold {
+                let phi = raw / (k as f64 * k2 as f64 * num_pairs as f64);
+                let p = n_hat * k_hat * phi;
+                if p > 0.0 {
+                    out.insert((k, k2), p);
+                }
+            }
+        }
+    }
+    for (&(k, k2), &p) in te.iter() {
+        if ((k + k2) as f64) < threshold && p > 0.0 {
+            out.insert((k, k2), p);
+        }
+    }
+    // Enforce symmetry (IE accumulation is symmetric in expectation but
+    // not per-sample; average the two orientations).
+    let keys: Vec<(u32, u32)> = out.keys().copied().collect();
+    for (k, k2) in keys {
+        if k < k2 {
+            let a = out.get(&(k, k2)).copied().unwrap_or(0.0);
+            let b = out.get(&(k2, k)).copied().unwrap_or(0.0);
+            let avg = (a + b) / 2.0;
+            out.insert((k, k2), avg);
+            out.insert((k2, k), avg);
+        }
+    }
+    Ok(out)
+}
+
+/// `ĉ̄(k) = Φ_c̄(k) / Φ(k)` — the degree-dependent clustering estimator
+/// (§III-E; Hardiman & Katzir 2013):
+///
+/// `Φ_c̄(k) = 1/((k-1)(r-2)) Σ_{i=2}^{r-1} 1{d_{x_i} = k} A_{x_{i-1} x_{i+1}}`
+///
+/// The adjacency between the predecessor and successor is observable
+/// because both were queried. Needs `r ≥ 3`.
+pub fn estimate_clustering(crawl: &Crawl) -> Result<Vec<f64>, EstimateError> {
+    let r = crawl.len();
+    if r < 3 {
+        return Err(EstimateError::WalkTooShort { len: r, need: 3 });
+    }
+    let max_deg = (0..r).map(|i| crawl.degree_of_step(i)).max().unwrap_or(0);
+    // Observed-edge set for O(1) adjacency checks between queried nodes.
+    let mut edge_set: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for (&q, ns) in crawl.neighbors.iter() {
+        for &v in ns {
+            edge_set.insert(if q < v { (q, v) } else { (v, q) });
+        }
+    }
+    let has_edge = |a: u32, b: u32| edge_set.contains(&if a < b { (a, b) } else { (b, a) });
+
+    let mut phi_c = vec![0.0f64; max_deg + 1];
+    let mut phi = vec![0.0f64; max_deg + 1];
+    for i in 0..r {
+        let d = crawl.degree_of_step(i);
+        phi[d] += 1.0 / (d as f64 * r as f64).max(1.0);
+        if i >= 1 && i + 1 < r {
+            let prev = crawl.seq[i - 1];
+            let next = crawl.seq[i + 1];
+            if d >= 2 && has_edge(prev, next) {
+                phi_c[d] += 1.0 / ((d as f64 - 1.0) * (r as f64 - 2.0));
+            }
+        }
+    }
+    let mut out = vec![0.0f64; max_deg + 1];
+    for k in 2..=max_deg {
+        if phi[k] > 0.0 {
+            out[k] = phi_c[k] / phi[k];
+        }
+    }
+    Ok(out)
+}
+
+/// `m̂ = n̂ k̄̂ / 2` — the edge-count estimator implied by the handshake
+/// lemma (used by the target-JDM initialization through
+/// `n̂ k̄̂ P̂(k,k')`; exposed for analysts who only need the scale).
+pub fn estimate_num_edges(crawl: &Crawl) -> Result<f64, EstimateError> {
+    Ok(estimate_num_nodes(crawl)? * estimate_average_degree(crawl)? / 2.0)
+}
+
+/// The *global* (network-average) clustering coefficient estimator
+/// `ĉ̄ = Σ_k P̂(k) ĉ̄(k)` — the re-weighted-walk counterpart of the
+/// paper's property (5), composed from the §III-E estimators.
+pub fn estimate_global_clustering(crawl: &Crawl) -> Result<f64, EstimateError> {
+    let dist = estimate_degree_distribution(crawl)?;
+    let ck = estimate_clustering(crawl)?;
+    Ok(dist
+        .iter()
+        .zip(ck.iter())
+        .map(|(&p, &c)| p * c)
+        .sum())
+}
+
+/// Computes all five estimates (§III-E) from one walk.
+pub fn estimate_all(crawl: &Crawl) -> Result<Estimates, EstimateError> {
+    Ok(Estimates {
+        n_hat: estimate_num_nodes(crawl)?,
+        avg_degree_hat: estimate_average_degree(crawl)?,
+        degree_dist: estimate_degree_distribution(crawl)?,
+        jdd: estimate_jdd(crawl)?,
+        clustering: estimate_clustering(crawl)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::complete;
+    use sgr_sample::{random_walk, AccessModel};
+    use sgr_util::Xoshiro256pp;
+
+    fn walk_on(g: &sgr_graph::Graph, target: usize, seed: u64) -> Crawl {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut am = AccessModel::new(g);
+        let start = am.random_seed(&mut rng);
+        let mut crawl = random_walk(&mut am, start, target, &mut rng);
+        // Extend the walk to several times the query target so estimator
+        // statistics (collisions, consecutive pairs) are plentiful.
+        let extra_steps = target * 10;
+        let mut current = *crawl.seq.last().unwrap();
+        for _ in 0..extra_steps {
+            let nbrs = crawl.neighbors_of(current);
+            if nbrs.is_empty() {
+                break;
+            }
+            let next = nbrs[rng.gen_range(nbrs.len())];
+            crawl.neighbors.entry(next).or_insert_with(|| {
+                let fetched = am.query(next).to_vec();
+                fetched
+            });
+            crawl.seq.push(next);
+            current = next;
+        }
+        crawl
+    }
+
+    #[test]
+    fn complete_graph_estimates_are_exact_shaped() {
+        // On K_20 every degree is 19, clustering 1, n = 20.
+        let g = complete(20);
+        let crawl = walk_on(&g, 20, 1);
+        let est = estimate_all(&crawl).unwrap();
+        assert!((est.avg_degree_hat - 19.0).abs() < 1e-9);
+        assert!((est.degree_prob(19) - 1.0).abs() < 1e-9);
+        assert_eq!(est.max_degree(), 19);
+        // ĉ̄(19) = (k/(k-1)) * P(no backtrack) in expectation = 1 exactly,
+        // but each sample fluctuates with the backtrack count.
+        assert!((est.clustering_at(19) - 1.0).abs() < 0.05);
+        // Collision estimator close to 20.
+        assert!((est.n_hat - 20.0).abs() < 6.0, "n_hat = {}", est.n_hat);
+        // JDD mass concentrates at (19, 19).
+        let p = est.jdd_prob(19, 19);
+        assert!((p - 1.0).abs() < 0.4, "P(19,19) = {p}");
+    }
+
+    #[test]
+    fn average_degree_on_social_graph() {
+        let g = sgr_gen::holme_kim(2000, 4, 0.4, &mut Xoshiro256pp::seed_from_u64(2)).unwrap();
+        let crawl = walk_on(&g, 400, 3);
+        let est = estimate_average_degree(&crawl).unwrap();
+        let truth = g.average_degree();
+        assert!(
+            (est - truth).abs() / truth < 0.15,
+            "estimated {est}, true {truth}"
+        );
+    }
+
+    #[test]
+    fn size_estimator_on_social_graph() {
+        let g = sgr_gen::holme_kim(1000, 4, 0.4, &mut Xoshiro256pp::seed_from_u64(4)).unwrap();
+        let crawl = walk_on(&g, 300, 5);
+        let n_hat = estimate_num_nodes(&crawl).unwrap();
+        assert!(
+            (n_hat - 1000.0).abs() / 1000.0 < 0.35,
+            "n_hat = {n_hat} vs 1000"
+        );
+    }
+
+    #[test]
+    fn degree_distribution_sums_to_about_one() {
+        let g = sgr_gen::holme_kim(1500, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(6)).unwrap();
+        let crawl = walk_on(&g, 300, 7);
+        let dist = estimate_degree_distribution(&crawl).unwrap();
+        let total: f64 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 0.15, "ΣP̂(k) = {total}");
+        // Minimum degree of HK graph is m = 3; nothing below.
+        assert_eq!(dist[1], 0.0);
+        assert_eq!(dist[2], 0.0);
+        assert!(dist[3] > 0.0);
+    }
+
+    #[test]
+    fn jdd_is_symmetric_and_positive() {
+        let g = sgr_gen::holme_kim(800, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(8)).unwrap();
+        let crawl = walk_on(&g, 200, 9);
+        let jdd = estimate_jdd(&crawl).unwrap();
+        assert!(!jdd.is_empty());
+        for (&(k, k2), &p) in jdd.iter() {
+            assert!(p > 0.0);
+            let mirror = jdd.get(&(k2, k)).copied().unwrap_or(-1.0);
+            assert!(
+                (p - mirror).abs() < 1e-12,
+                "asymmetric entry ({k},{k2}): {p} vs {mirror}"
+            );
+        }
+        // Total mass should be within a factor ~2 of 1 on a decent walk.
+        let total: f64 = jdd
+            .iter()
+            .map(|(&(k, k2), &p)| if k <= k2 { p } else { 0.0 })
+            .sum();
+        assert!(total > 0.3 && total < 2.5, "JDD mass (upper tri) = {total}");
+    }
+
+    #[test]
+    fn clustering_zero_on_triangle_free_graph() {
+        let g = sgr_gen::classic::complete_bipartite(6, 6);
+        let crawl = walk_on(&g, 12, 10);
+        let c = estimate_clustering(&crawl).unwrap();
+        assert!(c.iter().all(|&x| x == 0.0), "bipartite has no triangles");
+    }
+
+    #[test]
+    fn short_walks_error() {
+        let g = complete(5);
+        let mut crawl = Crawl::default();
+        assert!(matches!(
+            estimate_num_nodes(&crawl),
+            Err(EstimateError::WalkTooShort { .. })
+        ));
+        crawl.seq.push(0);
+        crawl.neighbors.insert(0, g.neighbors(0).to_vec());
+        assert!(estimate_jdd(&crawl).is_err());
+        assert!(estimate_clustering(&crawl).is_err());
+        assert!(estimate_average_degree(&crawl).is_ok());
+    }
+
+    #[test]
+    fn no_collision_fallback_counts_observed_nodes() {
+        // A 2-step walk on a path has no repeat visits at gap >= M.
+        let g = sgr_gen::classic::path(10);
+        let mut crawl = Crawl::default();
+        for x in [4u32, 5] {
+            crawl.seq.push(x);
+            crawl.neighbors.insert(x, g.neighbors(x).to_vec());
+        }
+        let n_hat = estimate_num_nodes(&crawl).unwrap();
+        // Observed: 4, 5 queried; 3, 6 visible => 4 nodes.
+        assert_eq!(n_hat, 4.0);
+    }
+
+    #[test]
+    fn gap_pair_count_formula() {
+        // r = 5, M = 2: ordered pairs with |i-j| >= 2:
+        // gaps 2,3,4 -> 2*(3+2+1) = 12.
+        assert_eq!(num_gap_pairs(5, 2), 12);
+        assert_eq!(num_gap_pairs(5, 5), 0);
+        assert_eq!(num_gap_pairs(3, 1), 2 * (2 + 1));
+    }
+
+    #[test]
+    fn edge_count_and_global_clustering_on_complete_graph() {
+        // K_12: m = 66, c̄ = 1.
+        let g = complete(12);
+        let crawl = walk_on(&g, 12, 21);
+        let m_hat = estimate_num_edges(&crawl).unwrap();
+        assert!((m_hat - 66.0).abs() < 20.0, "m̂ = {m_hat}");
+        let c_hat = estimate_global_clustering(&crawl).unwrap();
+        assert!((c_hat - 1.0).abs() < 0.06, "ĉ̄ = {c_hat}");
+    }
+
+    #[test]
+    fn global_clustering_zero_on_bipartite() {
+        let g = sgr_gen::classic::complete_bipartite(6, 6);
+        let crawl = walk_on(&g, 12, 22);
+        assert_eq!(estimate_global_clustering(&crawl).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn estimates_accessors() {
+        let g = complete(8);
+        let crawl = walk_on(&g, 8, 11);
+        let est = estimate_all(&crawl).unwrap();
+        assert_eq!(est.degree_prob(1000), 0.0);
+        assert_eq!(est.jdd_prob(999, 999), 0.0);
+        assert_eq!(est.clustering_at(1000), 0.0);
+    }
+}

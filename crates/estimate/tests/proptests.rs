@@ -1,0 +1,114 @@
+//! Property-based tests of the estimator layer: well-definedness and
+//! basic sanity on arbitrary connected graphs and walks. (Unbiasedness is
+//! tested by Monte-Carlo integration tests at the workspace level.)
+
+use proptest::prelude::*;
+use sgr_estimate::{estimate_all, Estimates};
+use sgr_graph::components::largest_component;
+use sgr_graph::Graph;
+use sgr_sample::{random_walk, AccessModel, Crawl};
+use sgr_util::Xoshiro256pp;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (30usize..150, 2usize..4, 0.0f64..0.8, 0u64..1_000).prop_map(|(n, m, pt, seed)| {
+        let g = sgr_gen::holme_kim(n, m, pt, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap();
+        largest_component(&g).0
+    })
+}
+
+fn crawl_on(g: &Graph, frac: f64, seed: u64) -> Crawl {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut am = AccessModel::new(g);
+    let start = am.random_seed(&mut rng);
+    let target = ((g.num_nodes() as f64 * frac) as usize).max(3);
+    random_walk(&mut am, start, target, &mut rng)
+}
+
+fn check_estimates(g: &Graph, crawl: &Crawl, est: &Estimates) {
+    // All finite and nonnegative.
+    assert!(est.n_hat.is_finite() && est.n_hat > 0.0);
+    assert!(est.avg_degree_hat.is_finite() && est.avg_degree_hat >= 1.0);
+    assert!(est.degree_dist.iter().all(|p| p.is_finite() && *p >= 0.0));
+    assert!(est.clustering.iter().all(|c| c.is_finite() && *c >= 0.0));
+    for (&(k, k2), &p) in est.jdd.iter() {
+        assert!(p.is_finite() && p > 0.0);
+        assert_eq!(
+            est.jdd.get(&(k2, k)).copied().unwrap_or(-1.0),
+            p,
+            "asymmetric JDD entry"
+        );
+    }
+    // n̂ is at least the number of distinct observed nodes only when
+    // collisions exist is not guaranteed; but it must be at least the
+    // number of *queried* nodes divided by a sane factor — we only check
+    // positivity plus an upper sanity bound of 1000× the truth.
+    assert!(est.n_hat <= 1000.0 * g.num_nodes() as f64);
+    // Every observed degree has positive estimated probability.
+    for i in 0..crawl.len() {
+        let d = crawl.degree_of_step(i);
+        assert!(
+            est.degree_prob(d) > 0.0,
+            "observed degree {d} has zero probability"
+        );
+    }
+    // ĉ̄(k) is a ratio of two unbiased estimators; on very short walks a
+    // degree visited once can produce values above 1 (bounded by
+    // k·r / ((k-1)(r-2))). Only nonnegativity and finiteness are
+    // guaranteed per-sample — asymptotic accuracy is covered by the
+    // Monte-Carlo integration tests.
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimates_are_well_defined(g in arb_graph(), seed in 0u64..100_000, frac in 0.05f64..0.6) {
+        let crawl = crawl_on(&g, frac, seed);
+        let est = estimate_all(&crawl).unwrap();
+        check_estimates(&g, &crawl, &est);
+    }
+
+    #[test]
+    fn degree_distribution_mass_is_reasonable(g in arb_graph(), seed in 0u64..100_000) {
+        // P̂(k) is a ratio of unbiased estimators; its total mass should
+        // stay within a broad band even on small walks.
+        let crawl = crawl_on(&g, 0.4, seed);
+        let est = estimate_all(&crawl).unwrap();
+        let total: f64 = est.degree_dist.iter().sum();
+        prop_assert!((0.4..=2.5).contains(&total), "ΣP̂(k) = {total}");
+    }
+
+    #[test]
+    fn longer_walks_do_not_increase_average_degree_error_much(
+        g in arb_graph(),
+        seed in 0u64..100_000,
+    ) {
+        // Weak consistency: the k̄ estimate from a 60% crawl should not
+        // be wildly off (within a factor of 2 of the truth).
+        let crawl = crawl_on(&g, 0.6, seed);
+        let est = estimate_all(&crawl).unwrap();
+        let truth = g.average_degree();
+        prop_assert!(
+            est.avg_degree_hat > truth / 2.0 && est.avg_degree_hat < truth * 2.0,
+            "k̄̂ = {} vs truth {truth}",
+            est.avg_degree_hat
+        );
+    }
+
+    #[test]
+    fn estimators_only_touch_the_sampling_list(g in arb_graph(), seed in 0u64..100_000) {
+        // Re-running the estimators from a *copied* crawl (no graph
+        // access) gives identical results — i.e. the analyst needs only L.
+        let crawl = crawl_on(&g, 0.3, seed);
+        let copy = Crawl {
+            seq: crawl.seq.clone(),
+            neighbors: crawl.neighbors.clone(),
+        };
+        let a = estimate_all(&crawl).unwrap();
+        let b = estimate_all(&copy).unwrap();
+        prop_assert_eq!(a.n_hat, b.n_hat);
+        prop_assert_eq!(a.avg_degree_hat, b.avg_degree_hat);
+        prop_assert_eq!(a.degree_dist, b.degree_dist);
+        prop_assert_eq!(a.clustering, b.clustering);
+    }
+}

@@ -1,0 +1,142 @@
+//! Deterministic graph families used throughout the test suites.
+
+use sgr_graph::{Graph, NodeId};
+
+/// Path `v_0 - v_1 - … - v_{n-1}`.
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1))
+        .map(|i| (i as NodeId, (i + 1) as NodeId))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Cycle on `n >= 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+    edges.push(((n - 1) as NodeId, 0));
+    Graph::from_edges(n, &edges)
+}
+
+/// Star: center 0 with `leaves` leaves.
+pub fn star(leaves: usize) -> Graph {
+    let edges: Vec<_> = (1..=leaves).map(|i| (0, i as NodeId)).collect();
+    Graph::from_edges(leaves + 1, &edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u as NodeId, v as NodeId));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Lollipop: clique `K_k` attached to a path of `tail` extra nodes.
+/// A classic stress case for betweenness and shortest paths.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    let mut g = complete(k);
+    let mut prev = (k - 1) as NodeId;
+    for _ in 0..tail {
+        let v = g.add_node();
+        g.add_edge(prev, v);
+        prev = v;
+    }
+    g
+}
+
+/// Two cliques of size `k` joined by a single bridge edge.
+pub fn barbell(k: usize) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push((u as NodeId, v as NodeId));
+            edges.push(((u + k) as NodeId, (v + k) as NodeId));
+        }
+    }
+    edges.push(((k - 1) as NodeId, k as NodeId));
+    Graph::from_edges(2 * k, &edges)
+}
+
+/// Complete bipartite graph `K_{a,b}` (left part `0..a`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a {
+        for v in 0..b {
+            edges.push((u as NodeId, (a + v) as NodeId));
+        }
+    }
+    Graph::from_edges(a + b, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_graph::components::is_connected;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert!(is_connected(&g));
+        assert_eq!(path(0).num_nodes(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.nodes().all(|u| g.degree(u) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(7);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.degree(0), 7);
+        assert!((1..8).all(|u| g.degree(u) == 1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.nodes().all(|u| g.degree(u) == 5));
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(4, 3);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 6 + 3);
+        assert_eq!(g.degree(6), 1);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(4);
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 6 + 6 + 1);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(3), 4); // bridge endpoint
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_nodes(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!((0..3).all(|u| g.degree(u) == 4));
+        assert!((3..7).all(|u| g.degree(u as u32) == 3));
+    }
+}

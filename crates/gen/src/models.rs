@@ -1,0 +1,422 @@
+//! Random graph models.
+//!
+//! All generators are deterministic given the caller-supplied
+//! [`Xoshiro256pp`] state and produce **simple** graphs (the paper's
+//! datasets are simplified before use; multigraphs only arise later, inside
+//! the restoration pipeline).
+
+use sgr_graph::{Graph, NodeId};
+use sgr_util::{FxHashSet, Xoshiro256pp};
+
+/// Parameter errors from the generators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// A parameter was outside its valid range; the message names it.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+fn err(msg: impl Into<String>) -> GenError {
+    GenError::InvalidParameter(msg.into())
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges chosen uniformly among all
+/// `n(n-1)/2` pairs.
+pub fn erdos_renyi_gnm(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Result<Graph, GenError> {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_m {
+        return Err(err(format!("m = {m} exceeds max {max_m} for n = {n}")));
+    }
+    let mut g = Graph::with_nodes(n);
+    let mut seen: FxHashSet<(NodeId, NodeId)> = sgr_util::hash::fx_set_with_capacity(m);
+    while seen.len() < m {
+        let u = rng.gen_range(n) as NodeId;
+        let v = rng.gen_range(n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            g.add_edge(key.0, key.1);
+        }
+    }
+    Ok(g)
+}
+
+/// Erdős–Rényi `G(n, p)`: each pair independently with probability `p`.
+/// Uses geometric skipping, O(n + m) expected time.
+pub fn erdos_renyi_gnp(n: usize, p: f64, rng: &mut Xoshiro256pp) -> Result<Graph, GenError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(err(format!("p = {p} outside [0, 1]")));
+    }
+    let mut g = Graph::with_nodes(n);
+    if p == 0.0 || n < 2 {
+        return Ok(g);
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                g.add_edge(u, v);
+            }
+        }
+        return Ok(g);
+    }
+    // Batagelj–Brandes skipping over the strictly-lower-triangular order.
+    let lp = (1.0 - p).ln();
+    let (mut v, mut w) = (1usize, -1isize);
+    while v < n {
+        let mut u = rng.next_f64();
+        if u <= 0.0 {
+            u = f64::MIN_POSITIVE;
+        }
+        let lr = (1.0 - u).ln();
+        w += 1 + (lr / lp) as isize;
+        while w >= v as isize && v < n {
+            w -= v as isize;
+            v += 1;
+        }
+        if v < n {
+            g.add_edge(v as NodeId, w as NodeId);
+        }
+    }
+    Ok(g)
+}
+
+/// Barabási–Albert preferential attachment: starts from a star of `m + 1`
+/// nodes, then each new node attaches to `m` distinct existing nodes chosen
+/// proportionally to degree. Produces a connected graph with a power-law
+/// degree tail.
+pub fn barabasi_albert(n: usize, m: usize, rng: &mut Xoshiro256pp) -> Result<Graph, GenError> {
+    if m == 0 {
+        return Err(err("BA m must be >= 1"));
+    }
+    if n < m + 1 {
+        return Err(err(format!("BA needs n >= m + 1 (n = {n}, m = {m})")));
+    }
+    let mut g = Graph::with_nodes(n);
+    // `targets` holds one entry per half-edge: sampling uniformly from it
+    // is sampling proportionally to degree.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for v in 1..=m {
+        g.add_edge(0, v as NodeId);
+        targets.push(0);
+        targets.push(v as NodeId);
+    }
+    let mut picked: FxHashSet<NodeId> = FxHashSet::default();
+    for v in (m + 1)..n {
+        picked.clear();
+        while picked.len() < m {
+            let t = targets[rng.gen_range(targets.len())];
+            picked.insert(t);
+        }
+        for &t in &picked {
+            g.add_edge(v as NodeId, t);
+            targets.push(v as NodeId);
+            targets.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Holme–Kim power-law-cluster model: Barabási–Albert growth where, after
+/// each preferential attachment, a *triad-formation* step connects the new
+/// node to a random neighbor of the just-chosen target with probability
+/// `p_t`. Yields heavy-tailed degrees **and** tunable clustering — the
+/// canonical synthetic stand-in for social graphs, used here for the
+/// paper's dataset analogues.
+pub fn holme_kim(n: usize, m: usize, p_t: f64, rng: &mut Xoshiro256pp) -> Result<Graph, GenError> {
+    if m == 0 {
+        return Err(err("HK m must be >= 1"));
+    }
+    if n < m + 1 {
+        return Err(err(format!("HK needs n >= m + 1 (n = {n}, m = {m})")));
+    }
+    if !(0.0..=1.0).contains(&p_t) {
+        return Err(err(format!("HK p_t = {p_t} outside [0, 1]")));
+    }
+    let mut g = Graph::with_nodes(n);
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for v in 1..=m {
+        g.add_edge(0, v as NodeId);
+        targets.push(0);
+        targets.push(v as NodeId);
+    }
+    let mut picked: FxHashSet<NodeId> = FxHashSet::default();
+    for v in (m + 1)..n {
+        picked.clear();
+        let vid = v as NodeId;
+        // First link is always preferential attachment.
+        let mut last_target = loop {
+            let t = targets[rng.gen_range(targets.len())];
+            if t != vid && picked.insert(t) {
+                break t;
+            }
+        };
+        while picked.len() < m {
+            let mut attached = false;
+            if rng.gen_bool(p_t) {
+                // Triad formation: a uniform neighbor of the last target.
+                let nbrs = g.neighbors(last_target);
+                if !nbrs.is_empty() {
+                    let w = nbrs[rng.gen_range(nbrs.len())];
+                    if w != vid && picked.insert(w) {
+                        last_target = w;
+                        attached = true;
+                    }
+                }
+            }
+            if !attached {
+                // Preferential attachment fallback.
+                let t = loop {
+                    let t = targets[rng.gen_range(targets.len())];
+                    if t != vid && !picked.contains(&t) {
+                        break t;
+                    }
+                };
+                picked.insert(t);
+                last_target = t;
+            }
+        }
+        for &t in &picked {
+            g.add_edge(vid, t);
+            targets.push(vid);
+            targets.push(t);
+        }
+    }
+    Ok(g)
+}
+
+/// Watts–Strogatz small world: ring lattice of `n` nodes with `k` nearest
+/// neighbors on each side (`2k` total), each edge rewired with probability
+/// `beta` to a uniform non-duplicate endpoint.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut Xoshiro256pp,
+) -> Result<Graph, GenError> {
+    if k == 0 || 2 * k >= n {
+        return Err(err(format!("WS needs 0 < 2k < n (n = {n}, k = {k})")));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(err(format!("WS beta = {beta} outside [0, 1]")));
+    }
+    let mut g = Graph::with_nodes(n);
+    let mut seen: FxHashSet<(NodeId, NodeId)> = FxHashSet::default();
+    let norm = |u: NodeId, v: NodeId| if u < v { (u, v) } else { (v, u) };
+    for u in 0..n {
+        for d in 1..=k {
+            let v = (u + d) % n;
+            seen.insert(norm(u as NodeId, v as NodeId));
+        }
+    }
+    let lattice: Vec<(NodeId, NodeId)> = seen.iter().copied().collect();
+    for (u, v) in lattice {
+        if rng.gen_bool(beta) {
+            // Try a few times to find a fresh endpoint; keep the original
+            // edge if the neighborhood is saturated.
+            let mut rewired = false;
+            for _ in 0..32 {
+                let w = rng.gen_range(n) as NodeId;
+                if w == u || seen.contains(&norm(u, w)) {
+                    continue;
+                }
+                seen.remove(&norm(u, v));
+                seen.insert(norm(u, w));
+                rewired = true;
+                break;
+            }
+            let _ = rewired;
+        }
+    }
+    for &(u, v) in seen.iter() {
+        g.add_edge(u, v);
+    }
+    Ok(g)
+}
+
+/// Planted-partition community model: `communities` equal-sized blocks;
+/// within-block pairs connected with `p_in`, across-block with `p_out`.
+/// A lightweight LFR substitute for community-structure workloads.
+pub fn planted_partition(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut Xoshiro256pp,
+) -> Result<Graph, GenError> {
+    if communities == 0 || communities > n {
+        return Err(err(format!(
+            "need 1 <= communities <= n (n = {n}, c = {communities})"
+        )));
+    }
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(err(format!("{name} = {p} outside [0, 1]")));
+        }
+    }
+    let mut g = Graph::with_nodes(n);
+    let block = |u: usize| u * communities / n;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block(u) == block(v) { p_in } else { p_out };
+            if rng.gen_bool(p) {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_graph::components::is_connected;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(20220501)
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count_and_is_simple() {
+        let g = erdos_renyi_gnm(100, 300, &mut rng()).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 300);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn gnm_rejects_overfull() {
+        assert!(erdos_renyi_gnm(4, 7, &mut rng()).is_err());
+        assert!(erdos_renyi_gnm(4, 6, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn gnp_expected_density() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi_gnp(n, p, &mut rng()).unwrap();
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        assert!((m - expect).abs() < 4.0 * expect.sqrt(), "m = {m}, expect = {expect}");
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let g0 = erdos_renyi_gnp(50, 0.0, &mut rng()).unwrap();
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi_gnp(20, 1.0, &mut rng()).unwrap();
+        assert_eq!(g1.num_edges(), 190);
+        assert!(erdos_renyi_gnp(10, 1.5, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn ba_structure() {
+        let n = 1000;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng()).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        // Star seed contributes m edges; each of the (n - m - 1) later
+        // nodes adds exactly m edges.
+        assert_eq!(g.num_edges(), m + (n - m - 1) * m);
+        assert!(g.is_simple());
+        assert!(is_connected(&g));
+        // Heavy tail: max degree far above average.
+        assert!(g.max_degree() as f64 > 4.0 * g.average_degree());
+    }
+
+    #[test]
+    fn ba_rejects_bad_params() {
+        assert!(barabasi_albert(3, 0, &mut rng()).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn hk_is_connected_simple_and_clustered() {
+        let g = holme_kim(1000, 4, 0.7, &mut rng()).unwrap();
+        assert!(g.is_simple());
+        assert!(is_connected(&g));
+        assert_eq!(g.num_nodes(), 1000);
+        // Same edge-count bookkeeping as BA.
+        assert_eq!(g.num_edges(), 4 + (1000 - 5) * 4);
+        // Triad formation creates triangles: count a few.
+        let idx = sgr_graph::index::MultiplicityIndex::build(&g);
+        let mut triangles = 0usize;
+        'outer: for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            for i in 0..nbrs.len() {
+                for j in (i + 1)..nbrs.len() {
+                    if idx.has_edge(nbrs[i], nbrs[j]) {
+                        triangles += 1;
+                        if triangles > 100 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(triangles > 100, "expected plentiful triangles");
+    }
+
+    #[test]
+    fn hk_zero_triad_matches_ba_shape() {
+        // With p_t = 0, HK degenerates to BA-style attachment.
+        let g = holme_kim(500, 2, 0.0, &mut rng()).unwrap();
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 2 + (500 - 3) * 2);
+    }
+
+    #[test]
+    fn ws_ring_degree_and_connectivity() {
+        let g = watts_strogatz(200, 3, 0.1, &mut rng()).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        // Rewiring preserves edge count.
+        assert_eq!(g.num_edges(), 200 * 3);
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn ws_beta_zero_is_lattice() {
+        let g = watts_strogatz(50, 2, 0.0, &mut rng()).unwrap();
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let g = planted_partition(200, 4, 0.2, 0.01, &mut rng()).unwrap();
+        let block = |u: usize| u * 4 / 200;
+        let (mut within, mut across) = (0usize, 0usize);
+        for (u, v) in g.edges() {
+            if block(u as usize) == block(v as usize) {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Within-pairs: 4 * C(50,2) = 4900 * 0.2 ≈ 980.
+        // Across-pairs: C(200,2) - 4900 = 15000 * 0.01 ≈ 150.
+        assert!(within > 4 * across, "within = {within}, across = {across}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = holme_kim(300, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(9)).unwrap();
+        let b = holme_kim(300, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(9)).unwrap();
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -1,0 +1,174 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper preprocesses every dataset by "extracting the largest connected
+//! component" (§V-A), and evaluates the shortest-path properties of
+//! generated graphs on *their* largest connected component (§V-B). Both
+//! operations live here.
+
+use crate::{Graph, NodeId};
+
+/// Partition of nodes into connected components.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[u]` is the component index of node `u` (0-based, dense).
+    pub label: Vec<u32>,
+    /// `sizes[c]` is the number of nodes in component `c`.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Index of a largest component (ties broken by lowest index).
+    pub fn largest(&self) -> usize {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+/// Labels connected components with an iterative BFS (no recursion, safe on
+/// million-node graphs).
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    const UNVISITED: u32 = u32::MAX;
+    let mut label = vec![UNVISITED; n];
+    let mut sizes = Vec::new();
+    let mut queue: Vec<NodeId> = Vec::new();
+    for start in 0..n {
+        if label[start] != UNVISITED {
+            continue;
+        }
+        let c = sizes.len() as u32;
+        let mut size = 0usize;
+        label[start] = c;
+        queue.clear();
+        queue.push(start as NodeId);
+        while let Some(u) = queue.pop() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if label[v as usize] == UNVISITED {
+                    label[v as usize] = c;
+                    queue.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { label, sizes }
+}
+
+/// Whether the graph is connected (an empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.num_nodes() == 0 || connected_components(g).count() == 1
+}
+
+/// Extracts the largest connected component as a new graph with dense node
+/// ids. Returns the new graph and `mapping[new_id] = old_id`.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    if g.num_nodes() == 0 {
+        return (Graph::with_nodes(0), Vec::new());
+    }
+    let comps = connected_components(g);
+    let keep = comps.largest() as u32;
+    let mut old_to_new = vec![u32::MAX; g.num_nodes()];
+    let mut mapping = Vec::with_capacity(comps.sizes[keep as usize]);
+    for u in g.nodes() {
+        if comps.label[u as usize] == keep {
+            old_to_new[u as usize] = mapping.len() as u32;
+            mapping.push(u);
+        }
+    }
+    let mut out = Graph::with_nodes(mapping.len());
+    for (u, v) in g.edges() {
+        if comps.label[u as usize] == keep {
+            out.add_edge(old_to_new[u as usize], old_to_new[v as usize]);
+        }
+    }
+    (out, mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.sizes, vec![4]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn multiple_components_and_isolated_nodes() {
+        // {0,1,2} path, {3,4} edge, {5} isolated.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        let mut sizes = c.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+        assert!(!is_connected(&g));
+        assert_eq!(c.sizes[c.largest()], 3);
+    }
+
+    #[test]
+    fn largest_component_extraction_preserves_structure() {
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)]);
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 4);
+        assert_eq!(lcc.num_edges(), 4);
+        assert!(is_connected(&lcc));
+        // Mapping refers back to original ids 0..=3.
+        let mut orig: Vec<_> = mapping.clone();
+        orig.sort_unstable();
+        assert_eq!(orig, vec![0, 1, 2, 3]);
+        lcc.validate().unwrap();
+    }
+
+    #[test]
+    fn largest_component_keeps_multi_edges_and_loops() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (0, 1), (2, 3)]);
+        g.add_edge(1, 1);
+        let (lcc, _) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 2);
+        assert_eq!(lcc.num_edges(), 3);
+        assert_eq!(lcc.num_self_loops(), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Graph::with_nodes(0);
+        assert!(is_connected(&g));
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 0);
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn all_isolated() {
+        let g = Graph::with_nodes(5);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 5);
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 1);
+        assert_eq!(mapping.len(), 1);
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        // 200k-node path: recursion-free traversal must handle it.
+        let n = 200_000;
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let g = Graph::from_edges(n, &edges);
+        assert!(is_connected(&g));
+    }
+}

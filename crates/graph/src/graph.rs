@@ -1,0 +1,440 @@
+//! The adjacency-list multigraph type.
+
+use sgr_util::FxHashMap;
+
+/// Node identifier. `u32` keeps adjacency lists compact (half the memory
+/// traffic of `usize` on 64-bit targets) while supporting graphs of up to
+/// ~4.29 billion nodes — far beyond the paper's largest dataset (YouTube,
+/// 1.13 M nodes).
+pub type NodeId = u32;
+
+/// Degree vector `{n(k)}_k`: `dv[k]` is the number of nodes with degree
+/// `k`, for `k = 0 ..= k_max` (the paper indexes from 1; index 0 holds
+/// isolated nodes, which occur only transiently during construction).
+pub type DegreeVector = Vec<usize>;
+
+/// Undirected multigraph with self-loops, per the paper's model (§III-A).
+///
+/// Representation: one neighbor list per node. An edge `{u, v}` with
+/// `u != v` stores `v` in `adj[u]` and `u` in `adj[v]`; a self-loop at `u`
+/// stores `u` **twice** in `adj[u]`. Hence for every node,
+/// `degree(u) == adj[u].len()` and `Σ_u degree(u) == 2 m`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes (ids `0 .. n`).
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph with `n` nodes from an edge list. Multi-edges and
+    /// self-loops in the input are kept.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Self::with_nodes(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes (including isolated ones).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges, counting each multi-edge copy once and each
+    /// self-loop once.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Average degree `k̄ = 2m / n` (Eq. 1). Zero for an empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.adj.len() as f64
+        }
+    }
+
+    /// Appends a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as NodeId
+    }
+
+    /// Adds an undirected edge `{u, v}`; `u == v` adds a self-loop.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.adj.len()
+        );
+        if u == v {
+            self.adj[u as usize].push(u);
+            self.adj[u as usize].push(u);
+        } else {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+        }
+        self.num_edges += 1;
+    }
+
+    /// Removes one copy of edge `{u, v}` if present; returns whether an
+    /// edge was removed. O(deg(u) + deg(v)).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let pos_u = self.adj[u as usize].iter().position(|&x| x == v);
+        let Some(pu) = pos_u else { return false };
+        if u == v {
+            // Remove two stored copies of the loop endpoint.
+            self.adj[u as usize].swap_remove(pu);
+            let second = self.adj[u as usize]
+                .iter()
+                .position(|&x| x == u)
+                .expect("self-loop invariant: loops are stored twice");
+            self.adj[u as usize].swap_remove(second);
+        } else {
+            self.adj[u as usize].swap_remove(pu);
+            let pv = self.adj[v as usize]
+                .iter()
+                .position(|&x| x == u)
+                .expect("undirected invariant: reverse entry exists");
+            self.adj[v as usize].swap_remove(pv);
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Degree of `u` (self-loops count twice, per the `A_ii` convention).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Neighbor list of `u` (multi-edges repeated; each self-loop
+    /// contributes two copies of `u`).
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Adjacency-matrix entry `A_uv`: edge multiplicity for `u != v`,
+    /// twice the loop count for `u == v`. O(deg(u)); use
+    /// [`crate::index::MultiplicityIndex`] for repeated lookups.
+    pub fn multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        self.adj[u as usize].iter().filter(|&&x| x == v).count()
+    }
+
+    /// Whether at least one edge `{u, v}` exists. Scans the smaller
+    /// endpoint's list.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Iterates every node id.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(|i| i as NodeId)
+    }
+
+    /// Iterates every edge exactly once as `(u, v)` with `u <= v`.
+    /// Multi-edges are yielded once per copy; each self-loop once.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as NodeId;
+            let mut loops_seen = 0usize;
+            nbrs.iter().filter_map(move |&v| {
+                if v > u {
+                    Some((u, v))
+                } else if v == u {
+                    // Each loop is stored twice; yield every other copy.
+                    loops_seen += 1;
+                    if loops_seen.is_multiple_of(2) {
+                        Some((u, u))
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Maximum degree; 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Degree vector `{n(k)}_k` indexed `0 ..= k_max`.
+    pub fn degree_vector(&self) -> DegreeVector {
+        let mut dv = vec![0usize; self.max_degree() + 1];
+        for nbrs in &self.adj {
+            dv[nbrs.len()] += 1;
+        }
+        dv
+    }
+
+    /// Number of self-loop edges in the whole graph.
+    pub fn num_self_loops(&self) -> usize {
+        self.adj
+            .iter()
+            .enumerate()
+            .map(|(u, nbrs)| nbrs.iter().filter(|&&v| v as usize == u).count() / 2)
+            .sum()
+    }
+
+    /// Number of edge copies beyond the first between each node pair.
+    pub fn num_multi_edges(&self) -> usize {
+        let mut extra = 0usize;
+        let mut seen: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            seen.clear();
+            for &v in nbrs {
+                if (v as usize) >= u {
+                    *seen.entry(v).or_insert(0) += 1;
+                }
+            }
+            for (&v, &cnt) in seen.iter() {
+                let copies = if v as usize == u { cnt / 2 } else { cnt };
+                extra += copies.saturating_sub(1);
+            }
+        }
+        extra
+    }
+
+    /// Whether the graph is simple (no self-loops, no multi-edges).
+    pub fn is_simple(&self) -> bool {
+        self.num_self_loops() == 0 && self.num_multi_edges() == 0
+    }
+
+    /// Returns a simple copy: multi-edges collapsed to one copy, self-loops
+    /// dropped. Mirrors the paper's dataset preprocessing ("removing
+    /// multiple edges and the directions of edges").
+    pub fn simplified(&self) -> Graph {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        let mut seen: sgr_util::FxHashSet<(NodeId, NodeId)> = sgr_util::FxHashSet::default();
+        for (u, v) in self.edges() {
+            if u != v && seen.insert((u, v)) {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(self.num_nodes(), &edges)
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    /// Returns an error message describing the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.adj.len();
+        let mut total_deg = 0usize;
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            total_deg += nbrs.len();
+            let mut self_copies = 0usize;
+            for &v in nbrs {
+                if (v as usize) >= n {
+                    return Err(format!("node {u} lists out-of-range neighbor {v}"));
+                }
+                if v as usize == u {
+                    self_copies += 1;
+                }
+            }
+            if !self_copies.is_multiple_of(2) {
+                return Err(format!("node {u} has an odd number of loop entries"));
+            }
+        }
+        if total_deg != 2 * self.num_edges {
+            return Err(format!(
+                "handshake violation: sum of degrees {total_deg} != 2m = {}",
+                2 * self.num_edges
+            ));
+        }
+        // Symmetry: count of v in adj[u] equals count of u in adj[v].
+        for u in 0..n {
+            let mut counts: FxHashMap<NodeId, isize> = FxHashMap::default();
+            for &v in &self.adj[u] {
+                if (v as usize) > u {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            for (&v, &c) in counts.iter() {
+                let back = self.adj[v as usize]
+                    .iter()
+                    .filter(|&&x| x as usize == u)
+                    .count() as isize;
+                if back != c {
+                    return Err(format!(
+                        "asymmetry between {u} and {v}: {c} forward vs {back} backward"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.average_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::with_nodes(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.degree_vector(), vec![0]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loop_convention() {
+        // A single self-loop: degree 2, A_ii = 2 (Newman's convention,
+        // which the paper adopts).
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(0, 0);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.multiplicity(0, 0), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_self_loops(), 1);
+        assert!(!g.is_simple());
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 0)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_edges_counted() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.multiplicity(0, 1), 3);
+        assert_eq!(g.multiplicity(1, 0), 3);
+        assert_eq!(g.num_multi_edges(), 2);
+        assert!(!g.is_simple());
+        assert_eq!(g.edges().count(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let mut g = triangle();
+        g.add_edge(1, 1); // loop
+        g.add_edge(0, 2); // multi-edge copy
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 2), (1, 1), (1, 2)]);
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = triangle();
+        assert!(g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        g.validate().unwrap();
+
+        // Loop removal restores both copies.
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        assert!(g.remove_edge(0, 0));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.num_edges(), 1);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn remove_one_copy_of_multi_edge() {
+        let mut g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!(g.remove_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_vector_matches_definition() {
+        // Star with 3 leaves: one node of degree 3, three of degree 1.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree_vector(), vec![0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn simplified_removes_loops_and_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 1), (1, 2)]);
+        let s = g.simplified();
+        assert!(s.is_simple());
+        assert_eq!(s.num_edges(), 2);
+        assert!(s.has_edge(0, 1));
+        assert!(s.has_edge(1, 2));
+        assert_eq!(s.num_nodes(), 3);
+    }
+
+    #[test]
+    fn add_node_extends() {
+        let mut g = triangle();
+        let v = g.add_node();
+        assert_eq!(v, 3);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.degree(3), 0);
+        g.add_edge(3, 0);
+        assert!(g.has_edge(0, 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn has_edge_scans_smaller_side() {
+        let mut g = Graph::with_nodes(5);
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(4, 0));
+        assert!(!g.has_edge(1, 2));
+    }
+}

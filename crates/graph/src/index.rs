@@ -1,0 +1,187 @@
+//! O(1) adjacency-multiplicity index.
+//!
+//! Triangle counting, the clustering-coefficient estimator
+//! (`A_{x_{i-1}, x_{i+1}}` lookups), and the rewiring engine all need many
+//! `A_uv` queries. Scanning neighbor lists makes each query O(deg); this
+//! index trades one pass of preprocessing and O(m) memory for O(1) queries,
+//! and supports incremental updates so the rewiring engine can keep it
+//! consistent while mutating the graph.
+
+use crate::{Graph, NodeId};
+use sgr_util::FxHashMap;
+
+/// Per-node hash map from neighbor id to adjacency-matrix entry `A_uv`
+/// (multiplicity; `A_uu` = 2 × loop count).
+#[derive(Clone, Debug, Default)]
+pub struct MultiplicityIndex {
+    maps: Vec<FxHashMap<NodeId, u32>>,
+}
+
+impl MultiplicityIndex {
+    /// Builds the index from a graph in O(n + m).
+    pub fn build(g: &Graph) -> Self {
+        let mut maps: Vec<FxHashMap<NodeId, u32>> = (0..g.num_nodes())
+            .map(|u| sgr_util::hash::fx_map_with_capacity(g.degree(u as NodeId)))
+            .collect();
+        for u in g.nodes() {
+            for &v in g.neighbors(u) {
+                *maps[u as usize].entry(v).or_insert(0) += 1;
+            }
+        }
+        Self { maps }
+    }
+
+    /// Creates an empty index over `n` nodes (all entries zero).
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            maps: vec![FxHashMap::default(); n],
+        }
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// `A_uv` (0 when absent).
+    #[inline]
+    pub fn get(&self, u: NodeId, v: NodeId) -> u32 {
+        self.maps[u as usize].get(&v).copied().unwrap_or(0)
+    }
+
+    /// Whether any edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.get(u, v) > 0
+    }
+
+    /// Iterates `(neighbor, A_uv)` pairs of `u` (each neighbor once).
+    pub fn entries(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.maps[u as usize].iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Registers the addition of edge `{u, v}` (loop adds 2 to `A_uu`).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            *self.maps[u as usize].entry(u).or_insert(0) += 2;
+        } else {
+            *self.maps[u as usize].entry(v).or_insert(0) += 1;
+            *self.maps[v as usize].entry(u).or_insert(0) += 1;
+        }
+    }
+
+    /// Registers the removal of one copy of edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics (in debug) if the edge is not present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        let dec = |maps: &mut Vec<FxHashMap<NodeId, u32>>, a: NodeId, b: NodeId, by: u32| {
+            let entry = maps[a as usize]
+                .get_mut(&b)
+                .expect("removing a non-existent edge from the index");
+            debug_assert!(*entry >= by);
+            *entry -= by;
+            if *entry == 0 {
+                maps[a as usize].remove(&b);
+            }
+        };
+        if u == v {
+            dec(&mut self.maps, u, u, 2);
+        } else {
+            dec(&mut self.maps, u, v, 1);
+            dec(&mut self.maps, v, u, 1);
+        }
+    }
+
+    /// Consistency check against a graph; returns the first mismatch.
+    pub fn validate_against(&self, g: &Graph) -> Result<(), String> {
+        if self.maps.len() != g.num_nodes() {
+            return Err(format!(
+                "index covers {} nodes, graph has {}",
+                self.maps.len(),
+                g.num_nodes()
+            ));
+        }
+        for u in g.nodes() {
+            let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+            for &v in g.neighbors(u) {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            if counts.len() != self.maps[u as usize].len() {
+                return Err(format!("node {u}: neighbor-set size mismatch"));
+            }
+            for (&v, &c) in counts.iter() {
+                if self.get(u, v) != c {
+                    return Err(format!(
+                        "A_{{{u},{v}}} mismatch: index {} vs graph {c}",
+                        self.get(u, v)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_graph() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 1)]);
+        g.add_edge(3, 3);
+        let idx = MultiplicityIndex::build(&g);
+        assert_eq!(idx.get(0, 1), 2);
+        assert_eq!(idx.get(1, 0), 2);
+        assert_eq!(idx.get(1, 2), 1);
+        assert_eq!(idx.get(3, 3), 2);
+        assert_eq!(idx.get(0, 3), 0);
+        assert!(idx.has_edge(2, 0));
+        assert!(!idx.has_edge(1, 3));
+        idx.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn incremental_updates_stay_consistent() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        let mut idx = MultiplicityIndex::build(&g);
+        g.add_edge(2, 3);
+        idx.add_edge(2, 3);
+        g.add_edge(3, 3);
+        idx.add_edge(3, 3);
+        idx.validate_against(&g).unwrap();
+        g.remove_edge(0, 1);
+        idx.remove_edge(0, 1);
+        g.remove_edge(3, 3);
+        idx.remove_edge(3, 3);
+        idx.validate_against(&g).unwrap();
+        assert_eq!(idx.get(0, 1), 0);
+        assert_eq!(idx.get(3, 3), 0);
+    }
+
+    #[test]
+    fn entries_iterate_each_neighbor_once() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (0, 2)]);
+        let idx = MultiplicityIndex::build(&g);
+        let mut entries: Vec<_> = idx.entries(0).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn removing_absent_edge_panics() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut idx = MultiplicityIndex::build(&g);
+        idx.remove_edge(0, 1);
+        idx.remove_edge(0, 1); // second removal must panic
+    }
+
+    #[test]
+    fn validate_detects_mismatch() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let idx = MultiplicityIndex::with_nodes(2);
+        assert!(idx.validate_against(&g).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # sgr-graph
+//!
+//! Graph substrate for the social-graph-restoration workspace.
+//!
+//! The paper's model (§III-A) is a connected, undirected graph in which
+//! **multiple edges and self-loops are allowed** (the restoration method's
+//! stub-matching phase can create both), with the adjacency convention
+//! `A_ij` = number of edges between `v_i` and `v_j` for `i ≠ j` and
+//! `A_ii` = twice the number of self-loops of `v_i`.
+//!
+//! [`Graph`] implements exactly that model as an adjacency-list multigraph:
+//! a self-loop at `u` stores `u` twice in `u`'s neighbor list, so
+//! `degree(u) == adj[u].len()` is consistent with the handshake lemma and
+//! with the `A_ii` convention.
+//!
+//! Additional substrate:
+//! * [`components`] — connected components, largest-component extraction
+//!   (the paper's dataset preprocessing step);
+//! * [`index`] — an O(1) multiplicity index (`A_ij` lookups) for triangle
+//!   and clustering algorithms;
+//! * [`io`] — whitespace-separated edge-list reading/writing.
+
+mod graph;
+
+pub mod components;
+pub mod index;
+pub mod io;
+
+pub use graph::{DegreeVector, Graph, NodeId};

@@ -1,0 +1,115 @@
+//! Property-based tests of the graph substrate invariants.
+
+use proptest::prelude::*;
+use sgr_graph::components::{connected_components, is_connected, largest_component};
+use sgr_graph::index::MultiplicityIndex;
+use sgr_graph::{Graph, NodeId};
+
+/// Strategy: a small random multigraph as (n, edge list).
+fn arb_multigraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), proptest::collection::vec(edge, 0..120))
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let total: usize = g.nodes().map(|u| g.degree(u)).sum();
+        prop_assert_eq!(total, 2 * g.num_edges());
+        prop_assert_eq!(g.num_edges(), edges.len());
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edges_iterator_is_exhaustive((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let mut expect: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<_> = g.edges().collect();
+        got.sort_unstable();
+        prop_assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn degree_vector_sums((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let dv = g.degree_vector();
+        prop_assert_eq!(dv.iter().sum::<usize>(), n);
+        let weighted: usize = dv.iter().enumerate().map(|(k, &c)| k * c).sum();
+        prop_assert_eq!(weighted, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn multiplicity_index_agrees((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let idx = MultiplicityIndex::build(&g);
+        prop_assert!(idx.validate_against(&g).is_ok());
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(idx.get(u, v) as usize, g.multiplicity(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn component_partition((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let c = connected_components(&g);
+        // Labels cover all nodes, sizes sum to n.
+        prop_assert_eq!(c.label.len(), n);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), n);
+        // Every edge stays within one component.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(c.label[u as usize], c.label[v as usize]);
+        }
+        // The extracted largest component is connected and matches size.
+        let (lcc, mapping) = largest_component(&g);
+        prop_assert!(is_connected(&lcc));
+        prop_assert_eq!(lcc.num_nodes(), c.sizes[c.largest()]);
+        prop_assert_eq!(mapping.len(), lcc.num_nodes());
+    }
+
+    #[test]
+    fn remove_then_validate((n, edges) in arb_multigraph()) {
+        let mut g = Graph::from_edges(n, &edges);
+        // Remove up to 10 edges that exist, validating after each.
+        let list: Vec<_> = g.edges().take(10).collect();
+        for (u, v) in list {
+            prop_assert!(g.remove_edge(u, v));
+            prop_assert!(g.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn simplified_is_simple_subset((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let s = g.simplified();
+        prop_assert!(s.is_simple());
+        prop_assert_eq!(s.num_nodes(), g.num_nodes());
+        for (u, v) in s.edges() {
+            prop_assert!(g.has_edge(u, v));
+            prop_assert_ne!(u, v);
+        }
+        prop_assert!(s.num_edges() <= g.num_edges());
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_graph((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let mut buf = Vec::new();
+        sgr_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let (h, _) = sgr_graph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        // Isolated nodes are not representable in an edge list; node count
+        // matches when there are none.
+        if g.nodes().all(|u| g.degree(u) > 0) {
+            prop_assert_eq!(h.num_nodes(), g.num_nodes());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The normalized L1 accuracy measure of §V-C.
+//!
+//! For a vector property, `Σ_i |x̃_i - x_i| / Σ_i x_i` where `x` is the
+//! original graph's vector and `x̃` the generated graph's. For a scalar
+//! property this reduces to the relative error `|x̃ - x| / x`.
+
+/// Normalized L1 distance between two property vectors; vectors of
+/// different lengths are implicitly zero-padded.
+///
+/// When the original vector has zero mass (so the paper's normalization is
+/// undefined) the unnormalized L1 mass of the other vector is returned —
+/// zero iff the two agree.
+pub fn normalized_l1(original: &[f64], generated: &[f64]) -> f64 {
+    let len = original.len().max(generated.len());
+    let get = |xs: &[f64], i: usize| xs.get(i).copied().unwrap_or(0.0);
+    let mut diff = 0.0f64;
+    let mut mass = 0.0f64;
+    for i in 0..len {
+        let x = get(original, i);
+        let y = get(generated, i);
+        diff += (y - x).abs();
+        mass += x;
+    }
+    if mass > 0.0 {
+        diff / mass
+    } else {
+        diff
+    }
+}
+
+/// Relative error `|x̃ - x| / x`; when the original value is zero, the
+/// absolute error is returned (zero iff the two agree).
+pub fn relative_error(original: f64, generated: f64) -> f64 {
+    let diff = (generated - original).abs();
+    if original != 0.0 {
+        diff / original.abs()
+    } else {
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_zero() {
+        assert_eq!(normalized_l1(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // Degree distributions: Σ P(k) = 1, so the distance is plain L1.
+        let orig = [0.5, 0.3, 0.2];
+        let gen = [0.4, 0.4, 0.2];
+        assert!((normalized_l1(&orig, &gen) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_pads_with_zero() {
+        let orig = [1.0, 1.0];
+        let gen = [1.0, 1.0, 2.0];
+        assert!((normalized_l1(&orig, &gen) - 1.0).abs() < 1e-12);
+        assert!((normalized_l1(&gen, &orig) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_fallback() {
+        assert_eq!(normalized_l1(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(normalized_l1(&[], &[1.0, 2.0]), 3.0);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 2.5), 2.5);
+    }
+
+    #[test]
+    fn relative_error_scales() {
+        assert!((relative_error(10.0, 12.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(10.0, 8.0) - 0.2).abs() < 1e-12);
+    }
+}

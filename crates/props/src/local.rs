@@ -1,0 +1,249 @@
+//! Local structural properties (1)–(7) of §V-B.
+
+use crate::triangles::triangle_counts_with_index;
+use sgr_graph::index::MultiplicityIndex;
+use sgr_graph::{Graph, NodeId};
+
+/// The degree-indexed local properties, computed in one pass.
+#[derive(Clone, Debug)]
+pub struct LocalProperties {
+    /// `{P(k)}` (Eq. 2).
+    pub degree_dist: Vec<f64>,
+    /// `{k̄nn(k)}` — neighbor connectivity.
+    pub knn: Vec<f64>,
+    /// `c̄` — network clustering coefficient.
+    pub mean_clustering: f64,
+    /// `{c̄(k)}` — degree-dependent clustering.
+    pub clustering_by_degree: Vec<f64>,
+    /// `{P(s)}` — edgewise shared-partner distribution.
+    pub shared_partner_dist: Vec<f64>,
+}
+
+impl LocalProperties {
+    /// Computes properties (3)–(7). Multi-edges and self-loops follow the
+    /// paper's adjacency conventions throughout (multiplicities weight
+    /// `k̄nn`, triangles, and shared partners; a self-loop contributes 2 to
+    /// its node's degree).
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let kmax = g.max_degree();
+        let idx = MultiplicityIndex::build(g);
+
+        // Degree distribution.
+        let dv = g.degree_vector();
+        let degree_dist: Vec<f64> = dv
+            .iter()
+            .map(|&c| if n > 0 { c as f64 / n as f64 } else { 0.0 })
+            .collect();
+
+        // Neighbor connectivity: k̄nn(k) = mean over deg-k nodes of
+        // (1/k) Σ_j A_ij d_j. The adjacency list stores j exactly A_ij
+        // times, so summing neighbor degrees over the list is the inner
+        // sum.
+        let mut knn_sum = vec![0.0f64; kmax + 1];
+        for u in g.nodes() {
+            let k = g.degree(u);
+            if k == 0 {
+                continue;
+            }
+            let s: f64 = g.neighbors(u).iter().map(|&v| g.degree(v) as f64).sum();
+            knn_sum[k] += s / k as f64;
+        }
+        let knn: Vec<f64> = knn_sum
+            .iter()
+            .zip(dv.iter())
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+
+        // Clustering (mean and degree-dependent) from triangle counts.
+        let t = triangle_counts_with_index(g, &idx);
+        let mut c_sum_by_k = vec![0.0f64; kmax + 1];
+        let mut c_total = 0.0f64;
+        for u in g.nodes() {
+            let k = g.degree(u);
+            if k >= 2 {
+                let c_u = 2.0 * t[u as usize] as f64 / (k as f64 * (k as f64 - 1.0));
+                c_sum_by_k[k] += c_u;
+                c_total += c_u;
+            }
+        }
+        let mean_clustering = if n > 0 { c_total / n as f64 } else { 0.0 };
+        let clustering_by_degree: Vec<f64> = c_sum_by_k
+            .iter()
+            .zip(dv.iter())
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+            .collect();
+
+        // Edgewise shared partners: for each non-loop edge (per copy),
+        // sp(i,j) = Σ_{k≠i,j} A_ik A_jk.
+        let mut sp_counts: Vec<u64> = Vec::new();
+        let mut m_eff = 0u64;
+        for (u, v) in g.edges() {
+            if u == v {
+                continue; // loops have no well-defined shared partners
+            }
+            let sp = shared_partners(&idx, u, v);
+            if sp_counts.len() <= sp {
+                sp_counts.resize(sp + 1, 0);
+            }
+            sp_counts[sp] += 1;
+            m_eff += 1;
+        }
+        let shared_partner_dist: Vec<f64> = if m_eff == 0 {
+            vec![0.0]
+        } else {
+            sp_counts
+                .iter()
+                .map(|&c| c as f64 / m_eff as f64)
+                .collect()
+        };
+
+        Self {
+            degree_dist,
+            knn,
+            mean_clustering,
+            clustering_by_degree,
+            shared_partner_dist,
+        }
+    }
+}
+
+/// Degree assortativity coefficient (Newman's `r`): the Pearson
+/// correlation of endpoint degrees over edges. Complements the paper's
+/// `k̄nn(k)` (property 4) with a scalar summary; social graphs are
+/// typically assortative (`r > 0`), web/technology graphs disassortative.
+/// Self-loops are excluded; multi-edge copies each count. Returns 0 for
+/// graphs with no degree variance across edges.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let mut m = 0.0f64;
+    let (mut sum_prod, mut sum_mean, mut sum_sq) = (0.0f64, 0.0f64, 0.0f64);
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        let (j, k) = (g.degree(u) as f64, g.degree(v) as f64);
+        m += 1.0;
+        sum_prod += j * k;
+        sum_mean += 0.5 * (j + k);
+        sum_sq += 0.5 * (j * j + k * k);
+    }
+    if m == 0.0 {
+        return 0.0;
+    }
+    let mean = sum_mean / m;
+    let num = sum_prod / m - mean * mean;
+    let den = sum_sq / m - mean * mean;
+    if den.abs() < 1e-15 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// `sp(u, v) = Σ_{k ≠ u, v} A_uk A_vk` — multiplicity-weighted common
+/// neighbors. Iterates the smaller neighbor map.
+pub fn shared_partners(idx: &MultiplicityIndex, u: NodeId, v: NodeId) -> usize {
+    let (a, b) = (u, v);
+    let count_from = |x: NodeId, y: NodeId| -> usize {
+        idx.entries(x)
+            .filter(|&(w, _)| w != x && w != y)
+            .map(|(w, a_xw)| a_xw as usize * idx.get(y, w) as usize)
+            .sum()
+    };
+    // Pick the endpoint with fewer distinct neighbors to iterate.
+    let deg_a = idx.entries(a).count();
+    let deg_b = idx.entries(b).count();
+    if deg_a <= deg_b {
+        count_from(a, b)
+    } else {
+        count_from(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{complete, cycle, star};
+
+    #[test]
+    fn star_properties() {
+        let g = star(5);
+        let p = LocalProperties::compute(&g);
+        // 5 leaves of degree 1, one hub of degree 5.
+        assert!((p.degree_dist[1] - 5.0 / 6.0).abs() < 1e-12);
+        assert!((p.degree_dist[5] - 1.0 / 6.0).abs() < 1e-12);
+        // Leaves see the hub: knn(1) = 5; hub sees leaves: knn(5) = 1.
+        assert!((p.knn[1] - 5.0).abs() < 1e-12);
+        assert!((p.knn[5] - 1.0).abs() < 1e-12);
+        assert_eq!(p.mean_clustering, 0.0);
+        // Each edge has 0 shared partners.
+        assert!((p.shared_partner_dist[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_properties() {
+        let g = complete(6);
+        let p = LocalProperties::compute(&g);
+        assert!((p.degree_dist[5] - 1.0).abs() < 1e-12);
+        assert!((p.knn[5] - 5.0).abs() < 1e-12);
+        assert!((p.mean_clustering - 1.0).abs() < 1e-12);
+        assert!((p.clustering_by_degree[5] - 1.0).abs() < 1e-12);
+        // Every edge of K_6 has 4 shared partners.
+        assert!((p.shared_partner_dist[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_properties() {
+        let g = cycle(10);
+        let p = LocalProperties::compute(&g);
+        assert!((p.degree_dist[2] - 1.0).abs() < 1e-12);
+        assert!((p.knn[2] - 2.0).abs() < 1e-12);
+        assert_eq!(p.mean_clustering, 0.0);
+        assert!((p.shared_partner_dist[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_partners_multiplicity() {
+        // Triangle with doubled third edge: sp(0,1) counts A_02 * A_12.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (1, 2), (2, 0)]);
+        let idx = MultiplicityIndex::build(&g);
+        assert_eq!(shared_partners(&idx, 0, 1), 2);
+        assert_eq!(shared_partners(&idx, 1, 2), 1);
+    }
+
+    #[test]
+    fn loop_edges_are_skipped_in_sp_dist() {
+        let mut g = complete(3);
+        g.add_edge(0, 0);
+        let p = LocalProperties::compute(&g);
+        // Only the three triangle edges count; each has one shared partner.
+        assert!((p.shared_partner_dist[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assortativity_signs() {
+        // Regular graphs: no degree variance → r = 0 by convention.
+        assert_eq!(degree_assortativity(&cycle(10)), 0.0);
+        assert_eq!(degree_assortativity(&complete(6)), 0.0);
+        // Stars are maximally disassortative: r = -1.
+        assert!((degree_assortativity(&star(8)) + 1.0).abs() < 1e-12);
+        // Two joined cliques of different sizes: assortative core exists;
+        // just check the value is finite and in [-1, 1].
+        let g = sgr_gen::classic::barbell(5);
+        let r = degree_assortativity(&g);
+        assert!((-1.0..=1.0).contains(&r));
+        // Edgeless / loop-only graphs are 0.
+        let mut h = Graph::with_nodes(2);
+        assert_eq!(degree_assortativity(&h), 0.0);
+        h.add_edge(0, 0);
+        assert_eq!(degree_assortativity(&h), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_well_defined() {
+        let g = Graph::with_nodes(0);
+        let p = LocalProperties::compute(&g);
+        assert_eq!(p.mean_clustering, 0.0);
+        assert_eq!(p.shared_partner_dist, vec![0.0]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Shortest-path properties (8)–(10): average length, length distribution,
+//! diameter.
+//!
+//! Exact mode runs one BFS per node; sampled mode runs BFS from
+//! `num_pivots` uniformly chosen sources, an unbiased estimator of `l̄`
+//! and `{P(l)}` (each pivot sees the exact distance profile from itself),
+//! plus double-sweep refinement for the diameter. Both modes parallelize
+//! over sources with crossbeam scoped threads — the role the paper's
+//! parallel algorithms (its Ref. 62) play.
+
+use crate::PropsConfig;
+use sgr_graph::{Graph, NodeId};
+use sgr_util::Xoshiro256pp;
+
+/// Results of the shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPathProperties {
+    /// `l̄` — average shortest-path length over connected pairs.
+    pub average_length: f64,
+    /// `{P(l)}` indexed by length (index 0 is always 0).
+    pub length_dist: Vec<f64>,
+    /// `l_max` — the diameter (exact in exact mode, a double-sweep lower
+    /// bound in sampled mode).
+    pub diameter: usize,
+}
+
+/// Deduplicated adjacency (multi-edges and loops do not affect
+/// distances).
+fn simple_adjacency(g: &Graph) -> Vec<Vec<NodeId>> {
+    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(g.num_nodes());
+    for u in g.nodes() {
+        let mut ns: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| v != u)
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        adj.push(ns);
+    }
+    adj
+}
+
+/// Single-source BFS; returns the distance histogram (`hist[l]` = number
+/// of nodes at distance `l > 0`) and the eccentricity with its farthest
+/// node.
+fn bfs_histogram(adj: &[Vec<NodeId>], source: NodeId, dist: &mut [u32], queue: &mut Vec<NodeId>) -> (Vec<u64>, NodeId) {
+    const INF: u32 = u32::MAX;
+    for d in dist.iter_mut() {
+        *d = INF;
+    }
+    queue.clear();
+    dist[source as usize] = 0;
+    queue.push(source);
+    let mut head = 0usize;
+    let mut hist: Vec<u64> = Vec::new();
+    let mut farthest = source;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let du = dist[u as usize];
+        if du > 0 {
+            if hist.len() <= du as usize {
+                hist.resize(du as usize + 1, 0);
+            }
+            hist[du as usize] += 1;
+            farthest = u;
+        }
+        for &v in &adj[u as usize] {
+            if dist[v as usize] == INF {
+                dist[v as usize] = du + 1;
+                queue.push(v);
+            }
+        }
+    }
+    (hist, farthest)
+}
+
+/// Computes the shortest-path properties of a **connected** graph (callers
+/// pass the largest component). Empty and single-node graphs yield zeros.
+pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathProperties {
+    let n = g.num_nodes();
+    if n < 2 {
+        return ShortestPathProperties {
+            average_length: 0.0,
+            length_dist: vec![0.0],
+            diameter: 0,
+        };
+    }
+    let adj = simple_adjacency(g);
+    let exact = n <= cfg.exact_threshold;
+    let sources: Vec<NodeId> = if exact {
+        (0..n as NodeId).collect()
+    } else {
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+        let k = cfg.num_pivots.min(n);
+        sgr_util::sampling::sample_indices(n, k, &mut rng)
+            .into_iter()
+            .map(|i| i as NodeId)
+            .collect()
+    };
+    let (mut hist, max_far) = parallel_histogram(&adj, &sources, cfg.effective_threads());
+
+    // Diameter: exact when all sources used; otherwise refine with double
+    // sweeps from the farthest nodes found.
+    let mut diameter = hist.len().saturating_sub(1);
+    if !exact {
+        let mut dist = vec![0u32; n];
+        let mut queue = Vec::with_capacity(n);
+        let mut frontier = max_far;
+        for _ in 0..4 {
+            let (h, far) = bfs_histogram(&adj, frontier, &mut dist, &mut queue);
+            diameter = diameter.max(h.len().saturating_sub(1));
+            if far == frontier {
+                break;
+            }
+            frontier = far;
+        }
+    }
+    if hist.len() <= diameter {
+        hist.resize(diameter + 1, 0);
+    }
+
+    let total: u64 = hist.iter().sum();
+    let weighted: u128 = hist
+        .iter()
+        .enumerate()
+        .map(|(l, &c)| l as u128 * c as u128)
+        .sum();
+    let average_length = if total > 0 {
+        weighted as f64 / total as f64
+    } else {
+        0.0
+    };
+    let length_dist: Vec<f64> = hist
+        .iter()
+        .map(|&c| if total > 0 { c as f64 / total as f64 } else { 0.0 })
+        .collect();
+    ShortestPathProperties {
+        average_length,
+        length_dist,
+        diameter,
+    }
+}
+
+/// Runs BFS from every source across worker threads, merging histograms.
+/// Returns the merged histogram and one farthest node (for double sweep).
+fn parallel_histogram(
+    adj: &[Vec<NodeId>],
+    sources: &[NodeId],
+    threads: usize,
+) -> (Vec<u64>, NodeId) {
+    let n = adj.len();
+    let threads = threads.max(1).min(sources.len().max(1));
+    if threads <= 1 || sources.len() < 4 {
+        let mut dist = vec![0u32; n];
+        let mut queue = Vec::with_capacity(n);
+        let mut merged: Vec<u64> = Vec::new();
+        let mut far = sources.first().copied().unwrap_or(0);
+        for &s in sources {
+            let (h, f) = bfs_histogram(adj, s, &mut dist, &mut queue);
+            if h.len() > merged.len() {
+                merged.resize(h.len(), 0);
+            }
+            for (l, &c) in h.iter().enumerate() {
+                merged[l] += c;
+            }
+            if h.len() >= merged.len() {
+                far = f;
+            }
+        }
+        return (merged, far);
+    }
+    let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
+    let results: Vec<(Vec<u64>, NodeId)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut dist = vec![0u32; n];
+                    let mut queue = Vec::with_capacity(n);
+                    let mut merged: Vec<u64> = Vec::new();
+                    let mut far = chunk.first().copied().unwrap_or(0);
+                    for &s in chunk {
+                        let (h, f) = bfs_histogram(adj, s, &mut dist, &mut queue);
+                        if h.len() > merged.len() {
+                            merged.resize(h.len(), 0);
+                            far = f;
+                        }
+                        for (l, &c) in h.iter().enumerate() {
+                            merged[l] += c;
+                        }
+                    }
+                    (merged, far)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("BFS worker panicked");
+    let mut merged: Vec<u64> = Vec::new();
+    let mut far = sources.first().copied().unwrap_or(0);
+    let mut best = 0usize;
+    for (h, f) in results {
+        if h.len() > best {
+            best = h.len();
+            far = f;
+        }
+        if h.len() > merged.len() {
+            merged.resize(h.len(), 0);
+        }
+        for (l, &c) in h.iter().enumerate() {
+            merged[l] += c;
+        }
+    }
+    (merged, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{barbell, complete, cycle, path, star};
+
+    fn cfg() -> PropsConfig {
+        PropsConfig::default()
+    }
+
+    #[test]
+    fn path_graph_exact() {
+        let g = path(6);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 5);
+        // Σ over ordered pairs of l / count: same as unordered average.
+        // Path P6: pairs by distance 1:5, 2:4, 3:3, 4:2, 5:1 → l̄ = 35/15.
+        assert!((sp.average_length - 35.0 / 15.0).abs() < 1e-12);
+        assert!((sp.length_dist[1] - 5.0 / 15.0).abs() < 1e-12);
+        assert!((sp.length_dist[5] - 1.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = complete(7);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 1);
+        assert!((sp.average_length - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_even() {
+        let g = cycle(8);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 4);
+        // Distances from any node: 1,1,2,2,3,3,4 → mean 16/7.
+        assert!((sp.average_length - 16.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let g = star(9);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 2);
+    }
+
+    #[test]
+    fn multi_edges_do_not_change_distances() {
+        let mut g = path(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 2);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 3);
+    }
+
+    #[test]
+    fn sampled_mode_close_to_exact() {
+        let g = sgr_gen::holme_kim(
+            2000,
+            3,
+            0.4,
+            &mut sgr_util::Xoshiro256pp::seed_from_u64(1),
+        )
+        .unwrap();
+        let exact = shortest_path_properties(&g, &cfg());
+        let sampled_cfg = PropsConfig {
+            exact_threshold: 10, // force sampling
+            num_pivots: 256,
+            ..cfg()
+        };
+        let approx = shortest_path_properties(&g, &sampled_cfg);
+        assert!(
+            (approx.average_length - exact.average_length).abs() / exact.average_length < 0.05,
+            "approx {} vs exact {}",
+            approx.average_length,
+            exact.average_length
+        );
+        // Diameter lower bound within 1 for double-sweep on small-worlds.
+        assert!(approx.diameter <= exact.diameter);
+        assert!(approx.diameter + 1 >= exact.diameter);
+    }
+
+    #[test]
+    fn barbell_diameter() {
+        let g = barbell(5);
+        let sp = shortest_path_properties(&g, &cfg());
+        assert_eq!(sp.diameter, 3);
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let sp = shortest_path_properties(&sgr_graph::Graph::with_nodes(0), &cfg());
+        assert_eq!(sp.diameter, 0);
+        assert_eq!(sp.average_length, 0.0);
+        let sp = shortest_path_properties(&sgr_graph::Graph::with_nodes(1), &cfg());
+        assert_eq!(sp.diameter, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Largest adjacency eigenvalue `λ1` (property 12) by shifted power
+//! iteration.
+//!
+//! The adjacency matrix of an undirected (multi)graph is symmetric with
+//! nonnegative entries, so its spectral radius equals its largest
+//! eigenvalue `λ1` (Perron–Frobenius). Plain power iteration can oscillate
+//! on bipartite graphs (`λ_min = -λ1`); iterating on `A + I` (spectrum
+//! shifted by +1, top eigenvector unchanged) removes the degeneracy.
+
+use sgr_graph::Graph;
+
+/// Computes `λ1` to relative tolerance `tol` (capped at `max_iters`
+/// iterations). Returns 0 for graphs without edges.
+///
+/// Multi-edges weight the matrix entry (`A_uv` = multiplicity) and a
+/// self-loop contributes `A_uu = 2`, both per the paper's conventions —
+/// the adjacency-list representation encodes exactly that.
+pub fn largest_eigenvalue(g: &Graph, tol: f64, max_iters: usize) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 || g.num_edges() == 0 {
+        return 0.0;
+    }
+    let mut x = vec![1.0f64 / (n as f64).sqrt(); n];
+    let mut y = vec![0.0f64; n];
+    let mut prev_lambda = 0.0f64;
+    for _ in 0..max_iters {
+        // y = (A + I) x  — adjacency lists repeat each neighbor A_uv
+        // times and list a loop endpoint twice, matching A exactly.
+        for (u, yu) in y.iter_mut().enumerate() {
+            let mut acc = x[u]; // the +I shift
+            for &v in g.neighbors(u as u32) {
+                acc += x[v as usize];
+            }
+            *yu = acc;
+        }
+        let norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return 0.0;
+        }
+        for v in &mut y {
+            *v /= norm;
+        }
+        // Rayleigh quotient of the *unshifted* matrix: λ = yᵀ A y.
+        let mut lambda = 0.0f64;
+        for u in 0..n {
+            let mut row = 0.0f64;
+            for &v in g.neighbors(u as u32) {
+                row += y[v as usize];
+            }
+            lambda += y[u] * row;
+        }
+        std::mem::swap(&mut x, &mut y);
+        if (lambda - prev_lambda).abs() <= tol * lambda.abs().max(1.0) {
+            return lambda;
+        }
+        prev_lambda = lambda;
+    }
+    prev_lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{complete, complete_bipartite, cycle, star};
+
+    #[test]
+    fn complete_graph() {
+        // λ1(K_n) = n - 1.
+        let g = complete(8);
+        assert!((largest_eigenvalue(&g, 1e-12, 2000) - 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn star_graph() {
+        // λ1(star with L leaves) = sqrt(L).
+        let g = star(9);
+        assert!((largest_eigenvalue(&g, 1e-12, 2000) - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cycle_graph() {
+        // λ1(C_n) = 2.
+        let g = cycle(10);
+        assert!((largest_eigenvalue(&g, 1e-12, 5000) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bipartite_no_oscillation() {
+        // λ1(K_{a,b}) = sqrt(a b); bipartite is the hard case for
+        // unshifted power iteration.
+        let g = complete_bipartite(4, 9);
+        assert!((largest_eigenvalue(&g, 1e-12, 5000) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn multi_edge_doubles_entry() {
+        // Two nodes, double edge: A = [[0,2],[2,0]], λ1 = 2.
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)]);
+        assert!((largest_eigenvalue(&g, 1e-12, 2000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_loop_counts_two() {
+        // Single node with a loop: A = [2], λ1 = 2.
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(0, 0);
+        assert!((largest_eigenvalue(&g, 1e-12, 100) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edgeless_is_zero() {
+        assert_eq!(largest_eigenvalue(&Graph::with_nodes(5), 1e-12, 100), 0.0);
+        assert_eq!(largest_eigenvalue(&Graph::with_nodes(0), 1e-12, 100), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Per-node triangle counts on multigraphs.
+//!
+//! The paper's definition (§III-C):
+//! `t_i = Σ_{j<l, j≠i, l≠i} A_ij A_il A_jl` — triangles through `v_i`,
+//! counted with edge multiplicities. Self-loops never contribute (the sum
+//! excludes `j = i` and `l = i`, and `A_jl` with `j ≠ l` ignores loops).
+
+use sgr_graph::index::MultiplicityIndex;
+use sgr_graph::{Graph, NodeId};
+
+/// Computes `t_i` for every node. O(Σ_i d_i²) with O(1) multiplicity
+/// lookups.
+pub fn triangle_counts(g: &Graph) -> Vec<u64> {
+    let idx = MultiplicityIndex::build(g);
+    triangle_counts_with_index(g, &idx)
+}
+
+/// As [`triangle_counts`] but reusing a prebuilt index.
+pub fn triangle_counts_with_index(g: &Graph, idx: &MultiplicityIndex) -> Vec<u64> {
+    let n = g.num_nodes();
+    let mut t = vec![0u64; n];
+    let mut nbrs: Vec<(NodeId, u32)> = Vec::new();
+    for i in 0..n as NodeId {
+        nbrs.clear();
+        nbrs.extend(idx.entries(i).filter(|&(j, _)| j != i));
+        let mut ti = 0u64;
+        for a in 0..nbrs.len() {
+            let (j, a_ij) = nbrs[a];
+            for &(l, a_il) in &nbrs[a + 1..] {
+                let a_jl = idx.get(j, l) as u64;
+                if a_jl > 0 {
+                    ti += a_ij as u64 * a_il as u64 * a_jl;
+                }
+            }
+        }
+        t[i as usize] = ti;
+    }
+    t
+}
+
+/// Total number of triangles `(1/3) Σ_i t_i`.
+pub fn total_triangles(g: &Graph) -> u64 {
+    triangle_counts(g).iter().sum::<u64>() / 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{complete, complete_bipartite, cycle};
+
+    #[test]
+    fn triangle_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_counts(&g), vec![1, 1, 1]);
+        assert_eq!(total_triangles(&g), 1);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        // K_5: each node is in C(4,2) = 6 triangles.
+        let g = complete(5);
+        assert_eq!(triangle_counts(&g), vec![6; 5]);
+        assert_eq!(total_triangles(&g), 10);
+    }
+
+    #[test]
+    fn bipartite_has_none() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(total_triangles(&g), 0);
+        let g = cycle(8);
+        assert_eq!(total_triangles(&g), 0);
+    }
+
+    #[test]
+    fn multi_edges_multiply() {
+        // Triangle with doubled edge (0,1): t_2 = A_20 A_21 A_01 = 2,
+        // t_0 = t_1 = 2 as well (paired with the double edge).
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 2), (2, 0)]);
+        assert_eq!(triangle_counts(&g), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn self_loops_do_not_count() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        g.add_edge(0, 0);
+        g.add_edge(1, 1);
+        assert_eq!(triangle_counts(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(triangle_counts(&Graph::with_nodes(0)).is_empty());
+        assert_eq!(triangle_counts(&Graph::with_nodes(3)), vec![0, 0, 0]);
+    }
+}

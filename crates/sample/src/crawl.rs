@@ -1,0 +1,287 @@
+//! Crawl results and the non-walk crawlers (BFS, snowball, forest fire).
+
+use crate::access::AccessModel;
+use crate::subgraph::Subgraph;
+use sgr_graph::NodeId;
+use sgr_util::{FxHashMap, FxHashSet, Xoshiro256pp};
+
+/// The outcome of a crawl: the paper's sampling list
+/// `L = ((x_i, N(x_i)))_{i=1..r}`.
+///
+/// For walks, [`seq`](Crawl::seq) is the full visit sequence *including
+/// revisits* (the Markov chain sample the estimators re-weight); for
+/// BFS-style crawlers it is the distinct query order. `neighbors` caches
+/// `N(x)` for every queried node.
+#[derive(Clone, Debug, Default)]
+pub struct Crawl {
+    /// Visit sequence `x_1, …, x_r`.
+    pub seq: Vec<NodeId>,
+    /// `N(x)` for every distinct queried node `x`.
+    pub neighbors: FxHashMap<NodeId, Vec<NodeId>>,
+}
+
+impl Crawl {
+    /// Length `r` of the sample sequence (with revisits, for walks).
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether no node was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// Number of distinct queried nodes.
+    pub fn num_queried(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree (in the hidden graph) of the `i`-th sampled node — available
+    /// to the analyst because the node was queried.
+    pub fn degree_of_step(&self, i: usize) -> usize {
+        self.neighbors[&self.seq[i]].len()
+    }
+
+    /// Neighbor list of a queried node.
+    ///
+    /// # Panics
+    /// Panics if `x` was never queried.
+    pub fn neighbors_of(&self, x: NodeId) -> &[NodeId] {
+        &self.neighbors[&x]
+    }
+
+    /// Whether `x` was queried.
+    pub fn is_queried(&self, x: NodeId) -> bool {
+        self.neighbors.contains_key(&x)
+    }
+
+    /// Whether the (simple-graph) edge `{u, v}` is visible in the sample,
+    /// i.e. at least one endpoint was queried and lists the other.
+    pub fn sees_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors
+            .get(&u)
+            .map(|ns| ns.contains(&v))
+            .or_else(|| self.neighbors.get(&v).map(|ns| ns.contains(&u)))
+            .unwrap_or(false)
+    }
+
+    /// Builds the induced subgraph `G'` (§III-D).
+    pub fn subgraph(&self) -> Subgraph {
+        Subgraph::from_crawl(self)
+    }
+}
+
+/// Breadth-first search from `seed`, querying nodes in FIFO order until
+/// `target_queried` distinct nodes are queried (or the component is
+/// exhausted).
+pub fn bfs(am: &mut AccessModel<'_>, seed: NodeId, target_queried: usize) -> Crawl {
+    let mut crawl = Crawl::default();
+    let mut enqueued: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    enqueued.insert(seed);
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        if crawl.neighbors.len() >= target_queried {
+            break;
+        }
+        let nbrs = am.query(u).to_vec();
+        crawl.seq.push(u);
+        for &v in &nbrs {
+            if enqueued.insert(v) {
+                queue.push_back(v);
+            }
+        }
+        crawl.neighbors.insert(u, nbrs);
+    }
+    crawl
+}
+
+/// Snowball sampling: BFS in which at most `k` uniformly chosen neighbors
+/// of each queried node are enqueued (the paper uses `k = 50`, §V-E).
+pub fn snowball(
+    am: &mut AccessModel<'_>,
+    seed: NodeId,
+    k: usize,
+    target_queried: usize,
+    rng: &mut Xoshiro256pp,
+) -> Crawl {
+    let mut crawl = Crawl::default();
+    let mut enqueued: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    enqueued.insert(seed);
+    queue.push_back(seed);
+    while let Some(u) = queue.pop_front() {
+        if crawl.neighbors.len() >= target_queried {
+            break;
+        }
+        let nbrs = am.query(u).to_vec();
+        crawl.seq.push(u);
+        let chosen = sgr_util::sampling::reservoir_sample(nbrs.iter().copied(), k, rng);
+        for v in chosen {
+            if enqueued.insert(v) {
+                queue.push_back(v);
+            }
+        }
+        crawl.neighbors.insert(u, nbrs);
+    }
+    crawl
+}
+
+/// Forest-fire sampling (§V-D): each queried node "burns" a random number
+/// of its not-yet-seen neighbors, drawn from a geometric distribution with
+/// mean `p_f / (1 - p_f)`. If the fire dies before the query budget is
+/// reached, it is revived from a uniformly random already-sampled node
+/// (following Kurant et al., as the paper does).
+pub fn forest_fire(
+    am: &mut AccessModel<'_>,
+    seed: NodeId,
+    p_f: f64,
+    target_queried: usize,
+    rng: &mut Xoshiro256pp,
+) -> Crawl {
+    assert!((0.0..1.0).contains(&p_f), "p_f must be in [0, 1)");
+    let geom_p = 1.0 - p_f; // success prob: mean failures = p_f / (1 - p_f)
+    let mut crawl = Crawl::default();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+    seen.insert(seed);
+    queue.push_back(seed);
+    while crawl.neighbors.len() < target_queried {
+        let Some(u) = queue.pop_front() else {
+            // Fire died: revive from a random already-sampled node whose
+            // neighborhood may still contain unseen nodes.
+            let sampled: Vec<NodeId> = crawl.neighbors.keys().copied().collect();
+            if sampled.is_empty() {
+                break;
+            }
+            let revive = sampled[rng.gen_range(sampled.len())];
+            let fresh: Vec<NodeId> = crawl.neighbors[&revive]
+                .iter()
+                .copied()
+                .filter(|v| !seen.contains(v))
+                .collect();
+            if fresh.is_empty() {
+                // Try any unseen neighbor of any sampled node.
+                let mut found = None;
+                'outer: for q in &sampled {
+                    for &v in &crawl.neighbors[q] {
+                        if !seen.contains(&v) {
+                            found = Some(v);
+                            break 'outer;
+                        }
+                    }
+                }
+                match found {
+                    Some(v) => {
+                        seen.insert(v);
+                        queue.push_back(v);
+                    }
+                    // Component exhausted.
+                    None => break,
+                }
+            } else {
+                let v = fresh[rng.gen_range(fresh.len())];
+                seen.insert(v);
+                queue.push_back(v);
+            }
+            continue;
+        };
+        if crawl.neighbors.contains_key(&u) {
+            continue;
+        }
+        let nbrs = am.query(u).to_vec();
+        crawl.seq.push(u);
+        let burn_count = rng.gen_geometric(geom_p);
+        let unseen: Vec<NodeId> = nbrs.iter().copied().filter(|v| !seen.contains(v)).collect();
+        let burned = sgr_util::sampling::reservoir_sample(unseen, burn_count, rng);
+        for v in burned {
+            seen.insert(v);
+            queue.push_back(v);
+        }
+        crawl.neighbors.insert(u, nbrs);
+    }
+    crawl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_gen::classic::{complete, path, star};
+    use sgr_graph::Graph;
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        let g = path(6);
+        let mut am = AccessModel::new(&g);
+        let crawl = bfs(&mut am, 0, 4);
+        assert_eq!(crawl.seq, vec![0, 1, 2, 3]);
+        assert_eq!(crawl.num_queried(), 4);
+        assert_eq!(am.num_queried(), 4);
+    }
+
+    #[test]
+    fn bfs_exhausts_component() {
+        let g = star(3);
+        let mut am = AccessModel::new(&g);
+        let crawl = bfs(&mut am, 0, 100);
+        assert_eq!(crawl.num_queried(), 4);
+    }
+
+    #[test]
+    fn snowball_caps_fanout() {
+        // Star: with k = 1 only one leaf is enqueued from the center.
+        let g = star(10);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut am = AccessModel::new(&g);
+        let crawl = snowball(&mut am, 0, 1, 100, &mut rng);
+        // center + one leaf (leaf's only neighbor, the center, already seen)
+        assert_eq!(crawl.num_queried(), 2);
+    }
+
+    #[test]
+    fn snowball_with_large_k_equals_bfs_coverage() {
+        let g = complete(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let mut am = AccessModel::new(&g);
+        let crawl = snowball(&mut am, 0, 50, 100, &mut rng);
+        assert_eq!(crawl.num_queried(), 6);
+    }
+
+    #[test]
+    fn forest_fire_reaches_target_on_connected_graph() {
+        let g = sgr_gen::holme_kim(300, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(3)).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut am = AccessModel::new(&g);
+        let crawl = forest_fire(&mut am, 0, 0.7, 30, &mut rng);
+        assert_eq!(crawl.num_queried(), 30);
+        // Every queried node has its true neighbor list.
+        for (&x, ns) in crawl.neighbors.iter() {
+            assert_eq!(ns.len(), g.degree(x));
+        }
+    }
+
+    #[test]
+    fn forest_fire_terminates_when_component_exhausted() {
+        let g = path(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut am = AccessModel::new(&g);
+        let crawl = forest_fire(&mut am, 0, 0.7, 1000, &mut rng);
+        assert_eq!(crawl.num_queried(), 4);
+    }
+
+    #[test]
+    fn crawl_accessors() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut am = AccessModel::new(&g);
+        let crawl = bfs(&mut am, 1, 1);
+        assert_eq!(crawl.len(), 1);
+        assert!(!crawl.is_empty());
+        assert!(crawl.is_queried(1));
+        assert!(!crawl.is_queried(0));
+        assert_eq!(crawl.degree_of_step(0), 2);
+        assert!(crawl.sees_edge(0, 1));
+        assert!(crawl.sees_edge(1, 2));
+        assert!(!crawl.sees_edge(0, 2));
+        assert_eq!(crawl.neighbors_of(1), &[0, 2]);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sgr-sample
+//!
+//! The crawling layer: everything between the hidden graph and the
+//! estimators/restorers.
+//!
+//! The paper's access model (§III-A) is: querying a node returns its full
+//! neighbor list; global or random access to the graph is impossible; the
+//! graph is static. [`access::AccessModel`] enforces exactly that interface
+//! over an in-memory [`sgr_graph::Graph`] and counts queries, so every
+//! crawler in this crate — and everything downstream — can only see the
+//! data a real third-party crawler would see.
+//!
+//! Crawlers (§II, §V-D):
+//! * [`random_walk`] / [`random_walk_until_fraction`] — simple random walk
+//!   (the proposed method's crawler);
+//! * [`bfs`] — breadth-first search;
+//! * [`snowball`] — snowball sampling with per-node fan-out cap `k`;
+//! * [`forest_fire`] — forest-fire sampling with burn parameter `p_f`;
+//! * [`non_backtracking_walk`], [`metropolis_hastings_walk`] — the improved
+//!   walks discussed in Related Work (extension features).
+//!
+//! Every crawler produces a [`Crawl`]: the ordered sequence of sampled
+//! nodes (with revisits, for walks) plus the neighbor lists of all queried
+//! nodes — the paper's sampling list `L = ((x_i, N(x_i)))_{i=1..r}`. A
+//! [`Subgraph`] (`G'` in the paper, §III-D) is induced from the union of
+//! the queried nodes' edge sets.
+
+pub mod access;
+pub mod crawl;
+pub mod subgraph;
+pub mod walks;
+
+pub use access::AccessModel;
+pub use crawl::{bfs, forest_fire, snowball, Crawl};
+pub use subgraph::Subgraph;
+pub use walks::{
+    metropolis_hastings_walk, non_backtracking_walk, random_walk, random_walk_until_fraction,
+};

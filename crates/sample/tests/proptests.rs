@@ -1,0 +1,145 @@
+//! Property-based tests of the crawling layer: every crawler, on every
+//! random connected graph, must respect the access model's invariants.
+
+use proptest::prelude::*;
+use sgr_graph::components::largest_component;
+use sgr_graph::Graph;
+use sgr_sample::{
+    bfs, forest_fire, metropolis_hastings_walk, non_backtracking_walk, random_walk, snowball,
+    AccessModel, Subgraph,
+};
+use sgr_util::Xoshiro256pp;
+
+/// A connected social-ish graph (Holme–Kim LCC).
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (30usize..150, 2usize..4, 0.0f64..0.8, 0u64..1_000).prop_map(|(n, m, pt, seed)| {
+        let g = sgr_gen::holme_kim(n, m, pt, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap();
+        largest_component(&g).0
+    })
+}
+
+fn check_crawl_invariants(g: &Graph, crawl: &sgr_sample::Crawl) {
+    // Every queried node's cached neighbor list equals the truth.
+    for (&q, ns) in crawl.neighbors.iter() {
+        assert_eq!(ns.len(), g.degree(q));
+        for &v in ns {
+            assert!(g.has_edge(q, v));
+        }
+    }
+    // The sequence only contains queried nodes.
+    for &x in &crawl.seq {
+        assert!(crawl.is_queried(x));
+    }
+}
+
+fn check_subgraph_invariants(g: &Graph, sg: &Subgraph) {
+    // Lemma 1 in both directions.
+    for u in sg.queried_nodes() {
+        assert_eq!(sg.graph.degree(u), g.degree(sg.orig_id[u as usize]));
+    }
+    for u in sg.visible_nodes() {
+        assert!(sg.graph.degree(u) <= g.degree(sg.orig_id[u as usize]));
+        assert!(sg.graph.degree(u) >= 1, "visible nodes come from edges");
+    }
+    // E' is exactly the union of queried neighborhoods: every subgraph
+    // edge touches at least one queried node, and is real.
+    for (u, v) in sg.graph.edges() {
+        let (ou, ov) = (sg.orig_id[u as usize], sg.orig_id[v as usize]);
+        assert!(g.has_edge(ou, ov));
+        assert!(
+            sg.queried[u as usize] || sg.queried[v as usize],
+            "edge with no queried endpoint"
+        );
+    }
+    assert!(sg.graph.is_simple());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_walk_invariants(g in arb_graph(), seed in 0u64..10_000, frac in 0.05f64..0.5) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let target = ((g.num_nodes() as f64 * frac) as usize).max(1);
+        let crawl = random_walk(&mut am, start, target, &mut rng);
+        prop_assert_eq!(crawl.num_queried(), target.min(g.num_nodes()));
+        check_crawl_invariants(&g, &crawl);
+        // Consecutive walk nodes are adjacent.
+        for w in crawl.seq.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+        }
+        check_subgraph_invariants(&g, &crawl.subgraph());
+    }
+
+    #[test]
+    fn bfs_and_snowball_invariants(g in arb_graph(), seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let target = (g.num_nodes() / 5).max(2);
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let b = bfs(&mut am, start, target);
+        prop_assert_eq!(b.num_queried(), target);
+        check_crawl_invariants(&g, &b);
+        check_subgraph_invariants(&g, &b.subgraph());
+
+        let mut am = AccessModel::new(&g);
+        let s = snowball(&mut am, start, 3, target, &mut rng);
+        prop_assert!(s.num_queried() <= target);
+        check_crawl_invariants(&g, &s);
+        check_subgraph_invariants(&g, &s.subgraph());
+    }
+
+    #[test]
+    fn forest_fire_invariants(g in arb_graph(), seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let target = (g.num_nodes() / 5).max(2);
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let f = forest_fire(&mut am, start, 0.7, target, &mut rng);
+        // FF with revival reaches the target on a connected graph.
+        prop_assert_eq!(f.num_queried(), target);
+        check_crawl_invariants(&g, &f);
+        check_subgraph_invariants(&g, &f.subgraph());
+    }
+
+    #[test]
+    fn improved_walks_invariants(g in arb_graph(), seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let target = (g.num_nodes() / 5).max(2);
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let nb = non_backtracking_walk(&mut am, start, target, &mut rng);
+        prop_assert_eq!(nb.num_queried(), target);
+        check_crawl_invariants(&g, &nb);
+        // Non-backtracking above degree 1.
+        for w in nb.seq.windows(3) {
+            if g.degree(w[1]) > 1 {
+                prop_assert_ne!(w[0], w[2]);
+            }
+        }
+        let mut am = AccessModel::new(&g);
+        let mh = metropolis_hastings_walk(&mut am, start, target, &mut rng);
+        prop_assert!(mh.num_queried() >= target);
+        check_crawl_invariants(&g, &mh);
+        check_subgraph_invariants(&g, &mh.subgraph());
+    }
+
+    #[test]
+    fn subgraph_edge_count_is_union_of_neighborhoods(g in arb_graph(), seed in 0u64..10_000) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut am = AccessModel::new(&g);
+        let start = am.random_seed(&mut rng);
+        let crawl = random_walk(&mut am, start, (g.num_nodes() / 4).max(1), &mut rng);
+        let sg = crawl.subgraph();
+        // Count the union by brute force from the crawl.
+        let mut union: std::collections::BTreeSet<(u32, u32)> = Default::default();
+        for (&q, ns) in crawl.neighbors.iter() {
+            for &v in ns {
+                union.insert(if q < v { (q, v) } else { (v, q) });
+            }
+        }
+        prop_assert_eq!(sg.num_edges(), union.len());
+    }
+}

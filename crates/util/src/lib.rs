@@ -1,0 +1,25 @@
+//! # sgr-util
+//!
+//! Utility substrate shared by every crate in the social-graph-restoration
+//! workspace:
+//!
+//! * [`rng`] — a small, fast, fully deterministic pseudo-random number
+//!   generator (SplitMix64 seeding a Xoshiro256++ core). The experiments in
+//!   the paper are Monte-Carlo experiments; implementing the PRNG ourselves
+//!   makes every table and figure bit-reproducible across platforms and
+//!   toolchain versions.
+//! * [`hash`] — an FxHash-style hasher plus [`hash::FxHashMap`] /
+//!   [`hash::FxHashSet`] aliases. Graph workloads hash small integer keys in
+//!   hot loops; `std`'s SipHash is needlessly slow there (see the Rust
+//!   Performance Book's Hashing chapter).
+//! * [`stats`] — online mean/variance accumulators and slice statistics used
+//!   by the experiment harness (the paper reports avg ± SD over runs).
+//! * [`sampling`] — reservoir sampling and shuffles used by the crawlers.
+
+pub mod hash;
+pub mod rng;
+pub mod sampling;
+pub mod stats;
+
+pub use hash::{FxHashMap, FxHashSet};
+pub use rng::Xoshiro256pp;

@@ -1,0 +1,172 @@
+//! Sampling helpers used by crawlers and generators.
+
+use crate::rng::Xoshiro256pp;
+
+/// Fisher–Yates shuffle in place.
+pub fn shuffle<T>(xs: &mut [T], rng: &mut Xoshiro256pp) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(i + 1);
+        xs.swap(i, j);
+    }
+}
+
+/// Uniformly chooses a reference to one element, or `None` if empty.
+pub fn choose<'a, T>(xs: &'a [T], rng: &mut Xoshiro256pp) -> Option<&'a T> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(&xs[rng.gen_range(xs.len())])
+    }
+}
+
+/// Reservoir-samples `k` items from an iterator (Algorithm R). Returns fewer
+/// than `k` items when the iterator is shorter than `k`. Order of the
+/// returned sample is unspecified.
+pub fn reservoir_sample<I, T>(iter: I, k: usize, rng: &mut Xoshiro256pp) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(i + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Samples `k` distinct indices from `0..n` (uniform without replacement).
+/// Uses Floyd's algorithm, O(k) expected insertions.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_indices(n: usize, k: usize, rng: &mut Xoshiro256pp) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut chosen = crate::hash::fx_set_with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(j + 1);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+/// Draws an index proportionally to the nonnegative weights.
+/// Returns `None` if the total weight is zero or the slice is empty.
+pub fn weighted_choice(weights: &[f64], rng: &mut Xoshiro256pp) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    // NaN-safe: rejects zero, negative, and NaN totals alike.
+    if total.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return None;
+    }
+    let mut target = rng.next_f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return Some(i);
+        }
+    }
+    // Floating-point slack: return the last positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashSet;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let mut xs: Vec<u32> = (0..100).collect();
+        shuffle(&mut xs, &mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // Overwhelmingly likely to not be the identity.
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_none() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(choose(&empty, &mut rng).is_none());
+        assert_eq!(choose(&[7], &mut rng), Some(&7));
+    }
+
+    #[test]
+    fn reservoir_size_and_membership() {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let sample = reservoir_sample(0..1000u32, 10, &mut rng);
+        assert_eq!(sample.len(), 10);
+        for &v in &sample {
+            assert!(v < 1000);
+        }
+        let short = reservoir_sample(0..3u32, 10, &mut rng);
+        assert_eq!(short.len(), 3);
+        assert!(reservoir_sample(0..100u32, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut hits = [0usize; 10];
+        for _ in 0..20_000 {
+            for v in reservoir_sample(0..10u32, 3, &mut rng) {
+                hits[v as usize] += 1;
+            }
+        }
+        // Each element expected in 3/10 of samples => 6000 hits.
+        for &h in &hits {
+            assert!((5_400..=6_600).contains(&h), "hits {h}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        for _ in 0..100 {
+            let s = sample_indices(50, 20, &mut rng);
+            assert_eq!(s.len(), 20);
+            let set: FxHashSet<usize> = s.iter().copied().collect();
+            assert_eq!(set.len(), 20);
+            assert!(s.iter().all(|&i| i < 50));
+        }
+        assert_eq!(sample_indices(5, 5, &mut rng).len(), 5);
+        assert!(sample_indices(5, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[weighted_choice(&weights, &mut rng).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / 40_000.0;
+        assert!((frac0 - 0.25).abs() < 0.02, "frac0 = {frac0}");
+    }
+
+    #[test]
+    fn weighted_choice_zero_total() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        assert!(weighted_choice(&[], &mut rng).is_none());
+        assert!(weighted_choice(&[0.0, 0.0], &mut rng).is_none());
+    }
+}

@@ -1,0 +1,195 @@
+//! Fruchterman–Reingold force-directed layout with grid-bucketed
+//! repulsion.
+
+use sgr_graph::Graph;
+use sgr_util::Xoshiro256pp;
+
+/// Layout parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LayoutConfig {
+    /// Iterations of force simulation.
+    pub iterations: usize,
+    /// Side length of the square drawing area.
+    pub size: f64,
+    /// Initial temperature as a fraction of `size` (cooled linearly).
+    pub initial_temp: f64,
+    /// RNG seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 120,
+            size: 1000.0,
+            initial_temp: 0.1,
+            seed: 42,
+        }
+    }
+}
+
+/// Computes node positions with the Fruchterman–Reingold algorithm.
+/// Repulsion is evaluated only against nodes in the surrounding 3×3 grid
+/// cells (cell side = ideal edge length `k`), the standard FR grid
+/// variant — O(n) per iteration on near-uniform layouts instead of O(n²).
+pub fn fruchterman_reingold(g: &Graph, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
+    let size = cfg.size;
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.next_f64() * size, rng.next_f64() * size))
+        .collect();
+    if n == 1 {
+        return pos;
+    }
+    // Ideal pairwise distance.
+    let k = (size * size / n as f64).sqrt();
+    let mut disp = vec![(0.0f64, 0.0f64); n];
+    let cells_per_side = ((size / k).ceil() as usize).max(1);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 / size * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p.1 / size * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for iter in 0..cfg.iterations {
+        let temp = cfg.initial_temp * size * (1.0 - iter as f64 / cfg.iterations as f64);
+        for d in disp.iter_mut() {
+            *d = (0.0, 0.0);
+        }
+        for cell in grid.iter_mut() {
+            cell.clear();
+        }
+        for (i, &p) in pos.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            grid[cy * cells_per_side + cx].push(i as u32);
+        }
+        // Repulsion within neighboring cells.
+        for (i, &p) in pos.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                    {
+                        continue;
+                    }
+                    for &j in &grid[ny as usize * cells_per_side + nx as usize] {
+                        let j = j as usize;
+                        if j == i {
+                            continue;
+                        }
+                        let dx = p.0 - pos[j].0;
+                        let dy = p.1 - pos[j].1;
+                        let dist2 = (dx * dx + dy * dy).max(1e-6);
+                        let dist = dist2.sqrt();
+                        let force = k * k / dist;
+                        disp[i].0 += dx / dist * force;
+                        disp[i].1 += dy / dist * force;
+                    }
+                }
+            }
+        }
+        // Attraction along edges.
+        for (u, v) in g.edges() {
+            if u == v {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            let dx = pos[u].0 - pos[v].0;
+            let dy = pos[u].1 - pos[v].1;
+            let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+            let force = dist * dist / k;
+            let fx = dx / dist * force;
+            let fy = dy / dist * force;
+            disp[u].0 -= fx;
+            disp[u].1 -= fy;
+            disp[v].0 += fx;
+            disp[v].1 += fy;
+        }
+        // Displace, capped by temperature, clamped to the frame.
+        for (p, d) in pos.iter_mut().zip(disp.iter()) {
+            let len = (d.0 * d.0 + d.1 * d.1).sqrt();
+            if len > 0.0 {
+                let step = len.min(temp);
+                p.0 = (p.0 + d.0 / len * step).clamp(0.0, size);
+                p.1 = (p.1 + d.1 / len * step).clamp(0.0, size);
+            }
+        }
+    }
+    pos
+}
+
+/// Mean edge length of a layout — a cheap quality metric used by tests
+/// (connected structure should contract well below random placement).
+pub fn mean_edge_length(g: &Graph, pos: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        let dx = pos[u as usize].0 - pos[v as usize].0;
+        let dy = pos[u as usize].1 - pos[v as usize].1;
+        total += (dx * dx + dy * dy).sqrt();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_deterministic_and_in_bounds() {
+        let g = sgr_gen::holme_kim(200, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(1)).unwrap();
+        let cfg = LayoutConfig::default();
+        let a = fruchterman_reingold(&g, &cfg);
+        let b = fruchterman_reingold(&g, &cfg);
+        assert_eq!(a, b);
+        for &(x, y) in &a {
+            assert!((0.0..=cfg.size).contains(&x));
+            assert!((0.0..=cfg.size).contains(&y));
+        }
+    }
+
+    #[test]
+    fn edges_contract_relative_to_random_placement() {
+        let g = sgr_gen::holme_kim(300, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(2)).unwrap();
+        let cfg = LayoutConfig::default();
+        let random = fruchterman_reingold(&g, &LayoutConfig { iterations: 0, ..cfg });
+        let laid = fruchterman_reingold(&g, &cfg);
+        let before = mean_edge_length(&g, &random);
+        let after = mean_edge_length(&g, &laid);
+        assert!(
+            after < 0.8 * before,
+            "layout did not contract edges: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fruchterman_reingold(&sgr_graph::Graph::with_nodes(0), &LayoutConfig::default())
+            .is_empty());
+        let one = fruchterman_reingold(
+            &sgr_graph::Graph::with_nodes(1),
+            &LayoutConfig::default(),
+        );
+        assert_eq!(one.len(), 1);
+        // Self-loops must not crash the attraction pass.
+        let mut g = sgr_graph::Graph::with_nodes(2);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        let pos = fruchterman_reingold(&g, &LayoutConfig::default());
+        assert_eq!(pos.len(), 2);
+    }
+}

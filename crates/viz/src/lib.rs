@@ -1,0 +1,21 @@
+//! # sgr-viz
+//!
+//! Graph visualization substrate — the offline substitute for the Gephi
+//! renderings of the paper's Fig. 4.
+//!
+//! * [`layout`] — a grid-accelerated Fruchterman–Reingold force-directed
+//!   layout (repulsion approximated within neighborhood cells, linear-ish
+//!   per iteration, deterministic given a seed);
+//! * [`svg`] — renders a laid-out graph to an SVG file in the figure's
+//!   style (black circles for nodes, gray curves for edges).
+//!
+//! The qualitative claims of Fig. 4 — subgraph sampling captures the core
+//! but misses the low-degree periphery; Gjoka et al.'s method loses the
+//! geometry entirely; the proposed method preserves both core and
+//! periphery — are inspected on the emitted SVGs.
+
+pub mod layout;
+pub mod svg;
+
+pub use layout::{fruchterman_reingold, LayoutConfig};
+pub use svg::write_svg;

@@ -1,0 +1,109 @@
+//! SVG rendering in the style of the paper's Fig. 4: black circles for
+//! nodes, translucent gray strokes for edges.
+
+use sgr_graph::Graph;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes the laid-out graph as an SVG document.
+pub fn render_svg<W: Write>(
+    g: &Graph,
+    pos: &[(f64, f64)],
+    size: f64,
+    mut out: W,
+) -> std::io::Result<()> {
+    assert_eq!(pos.len(), g.num_nodes(), "position/node count mismatch");
+    let margin = size * 0.02;
+    let canvas = size + 2.0 * margin;
+    writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{canvas:.0}" height="{canvas:.0}" viewBox="0 0 {canvas:.0} {canvas:.0}">"#
+    )?;
+    writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#)?;
+    // Edges beneath nodes. Stroke opacity keeps hairballs readable.
+    writeln!(
+        out,
+        r##"<g stroke="#888888" stroke-opacity="0.25" stroke-width="0.5" fill="none">"##
+    )?;
+    for (u, v) in g.edges() {
+        if u == v {
+            continue;
+        }
+        let (x1, y1) = pos[u as usize];
+        let (x2, y2) = pos[v as usize];
+        writeln!(
+            out,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/>"#,
+            x1 + margin,
+            y1 + margin,
+            x2 + margin,
+            y2 + margin
+        )?;
+    }
+    writeln!(out, "</g>")?;
+    // Nodes: radius grows slowly with degree so hubs stand out.
+    writeln!(out, r#"<g fill="black">"#)?;
+    for u in g.nodes() {
+        let (x, y) = pos[u as usize];
+        let r = 0.8 + (g.degree(u) as f64).sqrt() * 0.25;
+        writeln!(
+            out,
+            r#"<circle cx="{:.1}" cy="{:.1}" r="{r:.2}"/>"#,
+            x + margin,
+            y + margin
+        )?;
+    }
+    writeln!(out, "</g>")?;
+    writeln!(out, "</svg>")?;
+    Ok(())
+}
+
+/// Lays out the graph with default Fruchterman–Reingold parameters and
+/// writes an SVG file.
+pub fn write_svg<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+    let cfg = crate::layout::LayoutConfig::default();
+    let pos = crate::layout::fruchterman_reingold(g, &cfg);
+    let file = std::fs::File::create(path)?;
+    render_svg(g, &pos, cfg.size, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_all_elements() {
+        let g = sgr_graph::Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let pos = vec![(0.0, 0.0), (100.0, 0.0), (50.0, 80.0)];
+        let mut buf = Vec::new();
+        render_svg(&g, &pos, 100.0, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("<line").count(), 3);
+        assert_eq!(text.matches("<circle").count(), 3);
+        assert!(text.starts_with("<svg"));
+        assert!(text.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn self_loops_are_skipped_in_edges() {
+        let mut g = sgr_graph::Graph::with_nodes(1);
+        g.add_edge(0, 0);
+        let mut buf = Vec::new();
+        render_svg(&g, &[(5.0, 5.0)], 10.0, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("<line").count(), 0);
+        assert_eq!(text.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn file_output_works() {
+        let dir = std::env::temp_dir().join("sgr_viz_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.svg");
+        let g = sgr_gen::classic::cycle(8);
+        write_svg(&g, &path).unwrap();
+        let meta = std::fs::metadata(&path).unwrap();
+        assert!(meta.len() > 100);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,45 @@
+//! # social-graph-restoration
+//!
+//! Facade crate for the full Rust reproduction of
+//! *"Social Graph Restoration via Random Walk Sampling"*
+//! (Kazuki Nakajima and Kazuyuki Shudo, ICDE 2022).
+//!
+//! Given query access to a hidden social graph, the pipeline is:
+//!
+//! 1. crawl a small fraction of nodes with a simple random walk
+//!    ([`sample`]),
+//! 2. build the induced subgraph `G'` and re-weighted estimates of five
+//!    local properties ([`sample`], [`estimate`]),
+//! 3. generate a graph that contains `G'` and preserves the estimates
+//!    ([`core`]), and
+//! 4. evaluate it against the original with the paper's 12 structural
+//!    properties ([`props`]).
+//!
+//! ```
+//! use social_graph_restoration as sgr;
+//! use sgr::gen::holme_kim;
+//! use sgr::sample::random_walk_until_fraction;
+//! use sgr::core::{restore, RestoreConfig};
+//! use sgr::util::Xoshiro256pp;
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(7);
+//! // A hidden "social graph" (power-law + clustering).
+//! let g = holme_kim(500, 4, 0.5, &mut rng).unwrap();
+//! // Crawl 10% of its nodes with a simple random walk.
+//! let walk = random_walk_until_fraction(&g, 0.10, &mut rng);
+//! // Restore (small rewiring budget to keep the doc test fast; the
+//! // paper's default is `RestoreConfig::default()` with R_C = 500).
+//! let cfg = RestoreConfig { rewiring_coefficient: 5.0, rewire: true };
+//! let restored = restore(&walk, &cfg, &mut rng).unwrap();
+//! assert!(restored.graph.num_nodes() > 0);
+//! ```
+
+pub use sgr_core as core;
+pub use sgr_dk as dk;
+pub use sgr_estimate as estimate;
+pub use sgr_gen as gen;
+pub use sgr_graph as graph;
+pub use sgr_props as props;
+pub use sgr_sample as sample;
+pub use sgr_util as util;
+pub use sgr_viz as viz;

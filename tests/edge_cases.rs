@@ -1,0 +1,189 @@
+//! Failure-injection and corner-case integration tests: degenerate hidden
+//! graphs, extreme crawl sizes, and adversarial structures the paper's
+//! algorithms must survive.
+
+use social_graph_restoration::core::{restore, RestoreConfig};
+use social_graph_restoration::gen::classic::{barbell, complete, cycle, lollipop, path, star};
+use social_graph_restoration::graph::Graph;
+use social_graph_restoration::sample::{random_walk, AccessModel, Crawl};
+use social_graph_restoration::util::Xoshiro256pp;
+
+fn cfg() -> RestoreConfig {
+    RestoreConfig {
+        rewiring_coefficient: 3.0,
+        rewire: true,
+    }
+}
+
+fn crawl_fraction(g: &Graph, frac: f64, seed: u64) -> Crawl {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut am = AccessModel::new(g);
+    let start = am.random_seed(&mut rng);
+    let target = ((g.num_nodes() as f64 * frac) as usize).max(1);
+    random_walk(&mut am, start, target, &mut rng)
+}
+
+#[test]
+fn restore_from_three_step_walk() {
+    // The estimator minimum: r = 3 (clustering needs it). A tiny crawl on
+    // a clique must still restore *something* valid.
+    let g = complete(12);
+    let mut crawl = Crawl::default();
+    for x in [0u32, 1, 2] {
+        crawl.seq.push(x);
+        crawl.neighbors.insert(x, g.neighbors(x).to_vec());
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let r = restore(&crawl, &cfg(), &mut rng).expect("minimal crawl restores");
+    r.graph.validate().unwrap();
+    assert!(r.graph.num_nodes() >= 12, "all visible nodes must survive");
+}
+
+#[test]
+fn restore_on_classic_families() {
+    // Structures with extreme degree profiles: star (hub + leaves),
+    // cycle (regular), path (two endpoints), lollipop (clique + tail),
+    // barbell (two cliques + bridge).
+    let graphs: Vec<(&str, Graph)> = vec![
+        ("star", star(60)),
+        ("cycle", cycle(80)),
+        ("path", path(80)),
+        ("lollipop", lollipop(12, 20)),
+        ("barbell", barbell(12)),
+    ];
+    for (name, g) in graphs {
+        let crawl = crawl_fraction(&g, 0.3, 7);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let r = restore(&crawl, &cfg(), &mut rng)
+            .unwrap_or_else(|e| panic!("{name}: restore failed: {e}"));
+        r.graph.validate().unwrap();
+        // Queried nodes keep exact degrees even on adversarial shapes.
+        for u in r.subgraph.queried_nodes() {
+            assert_eq!(
+                r.graph.degree(u),
+                r.subgraph.graph.degree(u),
+                "{name}: queried degree broken"
+            );
+        }
+    }
+}
+
+#[test]
+fn restore_when_everything_is_queried() {
+    // 100% crawl: the subgraph IS the graph; restoration must keep it
+    // intact and add little.
+    let g = cycle(40);
+    let crawl = crawl_fraction(&g, 1.0, 3);
+    assert_eq!(crawl.num_queried(), 40);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
+    let r = restore(&crawl, &cfg(), &mut rng).unwrap();
+    // All 40 original edges are present.
+    assert!(r.graph.num_edges() >= 40);
+    for (u, v) in r.subgraph.graph.edges() {
+        assert!(r.graph.has_edge(u, v));
+    }
+}
+
+#[test]
+fn walk_stuck_on_one_edge() {
+    // Hidden graph = single edge. A 2-step crawl is below the clustering
+    // estimator's r >= 3 requirement and must surface the documented
+    // error (not panic); a 3-step bounce restores fine.
+    let g = Graph::from_edges(2, &[(0, 1)]);
+    let short = crawl_fraction(&g, 1.0, 5);
+    assert_eq!(short.len(), 2);
+    let mut rng = Xoshiro256pp::seed_from_u64(6);
+    assert!(matches!(
+        restore(&short, &cfg(), &mut rng),
+        Err(social_graph_restoration::core::RestoreError::Estimate(_))
+    ));
+
+    let mut bounce = Crawl::default();
+    for &x in &[0u32, 1, 0] {
+        bounce.seq.push(x);
+        bounce
+            .neighbors
+            .entry(x)
+            .or_insert_with(|| g.neighbors(x).to_vec());
+    }
+    let r = restore(&bounce, &cfg(), &mut rng).unwrap();
+    r.graph.validate().unwrap();
+    assert!(r.graph.has_edge(0, 1));
+}
+
+#[test]
+fn heavy_multigraph_inputs_to_properties() {
+    // Property computation must tolerate loops and multi-edges (they
+    // arise in generated graphs).
+    use social_graph_restoration::props::{PropsConfig, StructuralProperties};
+    let mut g = complete(6);
+    g.add_edge(0, 0);
+    g.add_edge(1, 2);
+    g.add_edge(1, 2);
+    let p = StructuralProperties::compute(&g, &PropsConfig::default());
+    assert!(p.lambda1 > 5.0);
+    assert!(p.avg_path_length >= 1.0);
+    assert!(p.mean_clustering > 0.0);
+}
+
+#[test]
+fn zero_clustering_target_is_fine() {
+    // Bipartite-ish hidden graph: the clustering estimate is all zeros,
+    // so the rewiring phase has a degenerate target. Must not panic or
+    // divide by zero.
+    let g = social_graph_restoration::gen::classic::complete_bipartite(20, 20);
+    let crawl = crawl_fraction(&g, 0.3, 8);
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let r = restore(&crawl, &cfg(), &mut rng).unwrap();
+    r.graph.validate().unwrap();
+    assert!(r.stats.rewire_stats.final_distance.is_finite());
+}
+
+#[test]
+fn disconnected_hidden_graph_restores_the_walked_component() {
+    // The walk can only see its own component; restoration targets what
+    // the estimators saw. (The paper assumes connected graphs; we degrade
+    // gracefully instead of failing.)
+    let mut g = complete(10);
+    for _ in 0..5 {
+        g.add_node(); // isolated island the walk never reaches
+    }
+    let mut rng = Xoshiro256pp::seed_from_u64(10);
+    let mut am = AccessModel::new(&g);
+    let crawl = random_walk(&mut am, 0, 5, &mut rng);
+    let r = restore(&crawl, &cfg(), &mut rng).unwrap();
+    r.graph.validate().unwrap();
+    // The estimate reflects the walked clique (n ≈ 10), not the islands.
+    assert!(r.graph.num_nodes() <= 14);
+}
+
+#[test]
+fn gjoka_handles_degenerate_walks_too() {
+    let g = star(30);
+    let crawl = crawl_fraction(&g, 0.5, 12);
+    let mut rng = Xoshiro256pp::seed_from_u64(13);
+    let out = social_graph_restoration::core::gjoka::generate(&crawl, 2.0, &mut rng).unwrap();
+    out.graph.validate().unwrap();
+}
+
+#[test]
+fn cli_style_roundtrip_through_edge_list_files() {
+    // The downstream workflow: write hidden graph, read back, crawl,
+    // restore, write, read back — no information loss along the way.
+    use social_graph_restoration::graph::io::{read_edge_list_file, write_edge_list_file};
+    let dir = std::env::temp_dir().join("sgr_edge_cases");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(14);
+    let g = social_graph_restoration::gen::holme_kim(300, 3, 0.5, &mut rng).unwrap();
+    let p1 = dir.join("hidden.edges");
+    write_edge_list_file(&g, &p1).unwrap();
+    let (g2, _) = read_edge_list_file(&p1).unwrap();
+    assert_eq!(g2.num_edges(), g.num_edges());
+    let crawl = crawl_fraction(&g2, 0.1, 15);
+    let r = restore(&crawl, &cfg(), &mut rng).unwrap();
+    let p2 = dir.join("restored.edges");
+    write_edge_list_file(&r.graph, &p2).unwrap();
+    let (g3, _) = read_edge_list_file(&p2).unwrap();
+    assert_eq!(g3.num_edges(), r.graph.num_edges());
+    std::fs::remove_dir_all(&dir).ok();
+}

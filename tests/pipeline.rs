@@ -1,0 +1,119 @@
+//! End-to-end integration tests: crawl → estimate → restore on every
+//! dataset analogue, checking the paper's structural invariants.
+
+use social_graph_restoration::core::{restore, RestoreConfig};
+use social_graph_restoration::dk::extract::{jdm_matches_degree_vector, joint_degree_matrix};
+use social_graph_restoration::gen::Dataset;
+use social_graph_restoration::graph::index::MultiplicityIndex;
+use social_graph_restoration::sample::random_walk_until_fraction;
+use social_graph_restoration::util::Xoshiro256pp;
+
+fn cfg(rc: f64) -> RestoreConfig {
+    RestoreConfig {
+        rewiring_coefficient: rc,
+        rewire: true,
+    }
+}
+
+#[test]
+fn every_analogue_restores_with_invariants() {
+    for ds in Dataset::ALL {
+        let mut rng = Xoshiro256pp::seed_from_u64(ds as u64 + 1);
+        // Small scale: this test checks invariants, not accuracy.
+        let g = ds.spec().scaled(0.08).generate(&mut rng);
+        let crawl = random_walk_until_fraction(&g, 0.10, &mut rng);
+        let r = restore(&crawl, &cfg(3.0), &mut rng)
+            .unwrap_or_else(|e| panic!("{} restore failed: {e}", ds.name()));
+        r.graph.validate().unwrap();
+
+        // Invariant 1: G' ⊆ G̃ edge-for-edge, degree-for-degree.
+        let idx = MultiplicityIndex::build(&r.graph);
+        for (u, v) in r.subgraph.graph.edges() {
+            assert!(idx.get(u, v) >= 1, "{}: lost subgraph edge", ds.name());
+        }
+        for u in r.subgraph.queried_nodes() {
+            assert_eq!(
+                r.graph.degree(u),
+                r.subgraph.graph.degree(u),
+                "{}: queried degree changed",
+                ds.name()
+            );
+        }
+
+        // Invariant 2: the realized degree vector and JDM satisfy the
+        // marginal identity (JDM-3 realized).
+        let jdm = joint_degree_matrix(&r.graph);
+        assert!(
+            jdm_matches_degree_vector(&jdm, &r.graph.degree_vector()),
+            "{}: JDM/DV marginal identity broken",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn restoration_works_at_one_percent() {
+    // The YouTube experiment queries only 1% of nodes — the pipeline must
+    // hold up under that much sparsity.
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    let g = Dataset::YouTube.spec().scaled(0.25).generate(&mut rng);
+    let crawl = random_walk_until_fraction(&g, 0.01, &mut rng);
+    let r = restore(&crawl, &cfg(2.0), &mut rng).expect("1% restore");
+    assert!(r.graph.num_nodes() > crawl.num_queried());
+    assert!(r.graph.num_edges() > r.subgraph.num_edges());
+}
+
+#[test]
+fn rewiring_never_breaks_dv_or_jdm() {
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let g = Dataset::Anybeat.spec().scaled(0.1).generate(&mut rng);
+    let crawl = random_walk_until_fraction(&g, 0.10, &mut rng);
+
+    // Restore twice from the same crawl with and without rewiring: the
+    // degree vector and JDM must be identical (rewiring preserves both).
+    let mut rng_a = Xoshiro256pp::seed_from_u64(900);
+    let with = restore(&crawl, &cfg(10.0), &mut rng_a).unwrap();
+    let mut rng_b = Xoshiro256pp::seed_from_u64(900);
+    let without = restore(
+        &crawl,
+        &RestoreConfig {
+            rewiring_coefficient: 0.0,
+            rewire: false,
+        },
+        &mut rng_b,
+    )
+    .unwrap();
+    assert_eq!(with.graph.degree_vector(), without.graph.degree_vector());
+    assert_eq!(
+        joint_degree_matrix(&with.graph),
+        joint_degree_matrix(&without.graph)
+    );
+}
+
+#[test]
+fn gjoka_baseline_runs_on_analogues() {
+    for ds in [Dataset::Anybeat, Dataset::Slashdot] {
+        let mut rng = Xoshiro256pp::seed_from_u64(ds as u64 + 40);
+        let g = ds.spec().scaled(0.08).generate(&mut rng);
+        let crawl = random_walk_until_fraction(&g, 0.10, &mut rng);
+        let out = social_graph_restoration::core::gjoka::generate(&crawl, 3.0, &mut rng)
+            .unwrap_or_else(|e| panic!("{}: gjoka failed: {e}", ds.name()));
+        out.graph.validate().unwrap();
+        let jdm = joint_degree_matrix(&out.graph);
+        assert!(jdm_matches_degree_vector(&jdm, &out.graph.degree_vector()));
+    }
+}
+
+#[test]
+fn restoration_from_other_walks_is_possible() {
+    // Extension: the pipeline also accepts non-backtracking walks (the
+    // estimators are formally derived for the simple walk; the plumbing
+    // must still hold together).
+    use social_graph_restoration::sample::{non_backtracking_walk, AccessModel};
+    let mut rng = Xoshiro256pp::seed_from_u64(8);
+    let g = Dataset::Brightkite.spec().scaled(0.06).generate(&mut rng);
+    let mut am = AccessModel::new(&g);
+    let crawl = non_backtracking_walk(&mut am, 0, g.num_nodes() / 10, &mut rng);
+    let r = restore(&crawl, &cfg(2.0), &mut rng).expect("nbt-walk restore");
+    r.graph.validate().unwrap();
+}

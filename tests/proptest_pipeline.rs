@@ -1,0 +1,80 @@
+//! Property-based tests of the restoration pipeline: for arbitrary
+//! social-ish hidden graphs, crawl fractions, and seeds, the paper's
+//! structural postconditions must hold.
+
+use proptest::prelude::*;
+use social_graph_restoration::core::{restore, RestoreConfig};
+use social_graph_restoration::dk::extract::{jdm_matches_degree_vector, joint_degree_matrix};
+use social_graph_restoration::graph::index::MultiplicityIndex;
+use social_graph_restoration::sample::random_walk_until_fraction;
+use social_graph_restoration::util::Xoshiro256pp;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn restore_postconditions(
+        n in 120usize..400,
+        m_attach in 2usize..5,
+        p_t in 0.0f64..0.8,
+        frac in 0.05f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g = social_graph_restoration::gen::holme_kim(n, m_attach, p_t, &mut rng).unwrap();
+        let crawl = random_walk_until_fraction(&g, frac, &mut rng);
+        let cfg = RestoreConfig { rewiring_coefficient: 2.0, rewire: true };
+        let r = restore(&crawl, &cfg, &mut rng).unwrap();
+
+        // The generated multigraph is internally consistent.
+        prop_assert!(r.graph.validate().is_ok());
+
+        // G' ⊆ G̃ as a sub-multigraph.
+        let idx = MultiplicityIndex::build(&r.graph);
+        for (u, v) in r.subgraph.graph.edges() {
+            prop_assert!(idx.get(u, v) >= 1);
+        }
+
+        // Queried nodes keep their true degree; visible nodes never
+        // shrink (Lemma 1 carried through all four phases).
+        for u in r.subgraph.queried_nodes() {
+            prop_assert_eq!(r.graph.degree(u), r.subgraph.graph.degree(u));
+        }
+        for u in r.subgraph.visible_nodes() {
+            prop_assert!(r.graph.degree(u) >= r.subgraph.graph.degree(u));
+        }
+
+        // The realized DV/JDM marginal identity (the realizability
+        // conditions were genuinely met, not just targeted).
+        let jdm = joint_degree_matrix(&r.graph);
+        prop_assert!(jdm_matches_degree_vector(&jdm, &r.graph.degree_vector()));
+
+        // Every positive degree estimate is realized by at least one node.
+        let dv = r.graph.degree_vector();
+        for k in 1..r.estimates.degree_dist.len() {
+            if r.estimates.degree_prob(k) > 0.0 {
+                prop_assert!(
+                    dv.get(k).copied().unwrap_or(0) >= 1,
+                    "P̂({}) > 0 but no node of that degree", k
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gjoka_postconditions(
+        n in 120usize..350,
+        frac in 0.05f64..0.2,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let g = social_graph_restoration::gen::holme_kim(n, 3, 0.5, &mut rng).unwrap();
+        let crawl = random_walk_until_fraction(&g, frac, &mut rng);
+        let out = social_graph_restoration::core::gjoka::generate(&crawl, 2.0, &mut rng).unwrap();
+        prop_assert!(out.graph.validate().is_ok());
+        let jdm = joint_degree_matrix(&out.graph);
+        prop_assert!(jdm_matches_degree_vector(&jdm, &out.graph.degree_vector()));
+        // Everything is rewirable in the baseline.
+        prop_assert_eq!(out.stats.candidate_edges, out.stats.edges);
+    }
+}
