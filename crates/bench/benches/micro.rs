@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgr_core::{restore, RestoreConfig};
+use sgr_dk::rewire::reference::ApplyRollbackEngine;
 use sgr_dk::rewire::RewireEngine;
 use sgr_dk::series::generate_2k;
 use sgr_estimate::estimate_all;
@@ -74,6 +75,45 @@ fn bench_dk(c: &mut Criterion) {
     });
 }
 
+/// Throughput gate: evaluate-then-commit vs apply-rollback on the same
+/// graph, same target (≈half the current clustering — a fixed mix of
+/// accepts early and rejects late), same RNG seed.
+fn bench_rewire_throughput(c: &mut Criterion) {
+    let g = social(2_000, 6);
+    let props = sgr_props::local::LocalProperties::compute(&g);
+    let target: Vec<f64> = props
+        .clustering_by_degree
+        .iter()
+        .map(|&c| c * 0.5)
+        .collect();
+    c.bench_function("rewire_attempts_per_sec/evaluate_commit", |b| {
+        b.iter_batched(
+            || {
+                let edges: Vec<_> = g.edges().collect();
+                RewireEngine::new(g.clone(), edges, &target)
+            },
+            |mut engine| {
+                let mut rng = Xoshiro256pp::seed_from_u64(10);
+                black_box(engine.run_attempts(5_000, &mut rng))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("rewire_attempts_per_sec/apply_rollback", |b| {
+        b.iter_batched(
+            || {
+                let edges: Vec<_> = g.edges().collect();
+                ApplyRollbackEngine::new(g.clone(), edges, &target)
+            },
+            |mut engine| {
+                let mut rng = Xoshiro256pp::seed_from_u64(10);
+                black_box(engine.run_attempts(5_000, &mut rng))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     let g = social(2_000, 4);
     c.bench_function("restore_full_10pct_2k_rc5", |b| {
@@ -113,6 +153,6 @@ fn bench_properties(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_crawling, bench_estimators, bench_dk, bench_pipeline, bench_properties
+    targets = bench_crawling, bench_estimators, bench_dk, bench_rewire_throughput, bench_pipeline, bench_properties
 }
 criterion_main!(benches);

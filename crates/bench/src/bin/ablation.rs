@@ -51,8 +51,7 @@ fn main() {
         // Recover the candidate sets: added edges = all edges minus the
         // subgraph's (the restore API rewires internally; here we rewire
         // explicitly to control the candidate set).
-        let sub_edges: sgr_util::FxHashSet<(u32, u32)> =
-            built.subgraph.graph.edges().collect();
+        let sub_edges: sgr_util::FxHashSet<(u32, u32)> = built.subgraph.graph.edges().collect();
         let all_edges: Vec<(u32, u32)> = built.graph.edges().collect();
         let candidates: Vec<(u32, u32)> = if exclude_subgraph {
             // One subgraph copy of each edge is protected; extra copies
@@ -152,15 +151,18 @@ fn main() {
                 .expect("restore failed");
                 (r.graph, r.stats.total_secs())
             } else {
-                let o = sgr_core::gjoka::generate(&crawl, args.rc, &mut rng)
-                    .expect("gjoka failed");
+                let o = sgr_core::gjoka::generate(&crawl, args.rc, &mut rng).expect("gjoka failed");
                 (o.graph, o.stats.total_secs())
             };
             let props = StructuralProperties::compute(&graph, &props_cfg);
             avg_acc += sgr_util::stats::mean(&orig.l1_distances(&props));
             time_acc += secs;
         }
-        let label = if proposed { "with subgraph (proposed)" } else { "without subgraph (Gjoka)" };
+        let label = if proposed {
+            "with subgraph (proposed)"
+        } else {
+            "without subgraph (Gjoka)"
+        };
         let row = format!(
             "{label}\t{:.4}\t{:.3}",
             avg_acc / args.runs as f64,

@@ -1,0 +1,151 @@
+//! Rewiring-throughput harness: measures swap attempts/sec for the
+//! evaluate-then-commit engine against the apply-rollback reference on the
+//! same graph, target, and RNG seed, and writes `BENCH_rewire.json` so
+//! future PRs have a perf trajectory to defend.
+//!
+//! Usage: `bench_rewire [nodes] [attempts] [out.json]`
+//! (defaults: 2000 nodes, 200_000 attempts, `BENCH_rewire.json`).
+
+use sgr_dk::rewire::reference::ApplyRollbackEngine;
+use sgr_dk::rewire::{RewireEngine, RewireStats};
+use sgr_graph::Graph;
+use sgr_props::local::LocalProperties;
+use sgr_util::Xoshiro256pp;
+use std::time::Instant;
+
+const GRAPH_SEED: u64 = 6;
+const RNG_SEED: u64 = 10;
+
+struct Measurement {
+    name: &'static str,
+    secs: f64,
+    attempts_per_sec: f64,
+    stats: RewireStats,
+}
+
+fn measure(
+    name: &'static str,
+    attempts: u64,
+    run: impl FnOnce(u64, &mut Xoshiro256pp) -> RewireStats,
+) -> Measurement {
+    let mut rng = Xoshiro256pp::seed_from_u64(RNG_SEED);
+    let t = Instant::now();
+    let stats = run(attempts, &mut rng);
+    let secs = t.elapsed().as_secs_f64();
+    Measurement {
+        name,
+        secs,
+        attempts_per_sec: attempts as f64 / secs,
+        stats,
+    }
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"seconds\": {:.6},\n",
+            "      \"attempts_per_sec\": {:.1},\n",
+            "      \"accepted\": {},\n",
+            "      \"skipped\": {},\n",
+            "      \"initial_distance\": {:.12},\n",
+            "      \"final_distance\": {:.12}\n",
+            "    }}"
+        ),
+        m.name,
+        m.secs,
+        m.attempts_per_sec,
+        m.stats.accepted,
+        m.stats.skipped,
+        m.stats.initial_distance,
+        m.stats.final_distance,
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("nodes must be an integer"))
+        .unwrap_or(2_000);
+    let attempts: u64 = args
+        .next()
+        .map(|a| a.parse().expect("attempts must be an integer"))
+        .unwrap_or(200_000);
+    let out = args.next().unwrap_or_else(|| "BENCH_rewire.json".into());
+
+    // Fixed workload: a clustered social-ish graph, every edge rewirable,
+    // target = half the current clustering (accepts early, a reject-heavy
+    // tail later — the production mix).
+    let g: Graph =
+        sgr_gen::holme_kim(n, 4, 0.5, &mut Xoshiro256pp::seed_from_u64(GRAPH_SEED)).unwrap();
+    let props = LocalProperties::compute(&g);
+    let target: Vec<f64> = props
+        .clustering_by_degree
+        .iter()
+        .map(|&c| c * 0.5)
+        .collect();
+    let edges: Vec<_> = g.edges().collect();
+
+    eprintln!(
+        "bench_rewire: n={} m={} attempts={} (graph seed {GRAPH_SEED}, rng seed {RNG_SEED})",
+        g.num_nodes(),
+        g.num_edges(),
+        attempts
+    );
+
+    let fast = {
+        let mut eng = RewireEngine::new(g.clone(), edges.clone(), &target);
+        measure("evaluate_commit", attempts, |a, rng| {
+            eng.run_attempts(a, rng)
+        })
+    };
+    let slow = {
+        let mut eng = ApplyRollbackEngine::new(g.clone(), edges.clone(), &target);
+        measure("apply_rollback", attempts, |a, rng| {
+            eng.run_attempts(a, rng)
+        })
+    };
+
+    // The two engines must agree exactly — a perf number for a wrong
+    // engine is worthless.
+    assert_eq!(fast.stats.accepted, slow.stats.accepted, "engines diverged");
+    assert_eq!(
+        fast.stats.final_distance.to_bits(),
+        slow.stats.final_distance.to_bits(),
+        "final distances diverged"
+    );
+
+    let speedup = fast.attempts_per_sec / slow.attempts_per_sec;
+    for m in [&fast, &slow] {
+        eprintln!(
+            "  {:>16}: {:>10.0} attempts/s ({:.3}s, {} accepted)",
+            m.name, m.attempts_per_sec, m.secs, m.stats.accepted
+        );
+    }
+    eprintln!("  speedup: {speedup:.2}x");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"rewire_attempts_per_sec\",\n",
+            "  \"graph\": {{\"generator\": \"holme_kim\", \"nodes\": {}, \"edges\": {}, ",
+            "\"seed\": {}}},\n",
+            "  \"attempts\": {},\n",
+            "  \"rng_seed\": {},\n",
+            "  \"engines\": {{\n{},\n{}\n  }},\n",
+            "  \"speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        g.num_nodes(),
+        g.num_edges(),
+        GRAPH_SEED,
+        attempts,
+        RNG_SEED,
+        json_entry(&fast),
+        json_entry(&slow),
+        speedup,
+    );
+    std::fs::write(&out, json).expect("writing benchmark JSON");
+    eprintln!("  wrote {out}");
+}

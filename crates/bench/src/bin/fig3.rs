@@ -22,7 +22,10 @@ fn main() {
         let names: Vec<&str> = Method::ALL.iter().map(|m| m.name()).collect();
         format!("dataset\tpct_queried\t{}", names.join("\t"))
     };
-    println!("# Fig. 3 — average L1 distance vs %% queried (runs = {})", args.runs);
+    println!(
+        "# Fig. 3 — average L1 distance vs %% queried (runs = {})",
+        args.runs
+    );
     println!("{header}");
     writeln!(file, "{header}").unwrap();
 

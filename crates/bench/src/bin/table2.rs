@@ -18,7 +18,10 @@ fn main() {
 
     let mut file = std::fs::File::create(out_dir.join("table2.tsv")).expect("create table2.tsv");
     let header = format!("dataset\tmethod\t{}", PROPERTY_NAMES.join("\t"));
-    println!("# Table II — per-property L1 at 10%% queried (runs = {})", args.runs);
+    println!(
+        "# Table II — per-property L1 at 10%% queried (runs = {})",
+        args.runs
+    );
     println!("{header}");
     writeln!(file, "{header}").unwrap();
 
@@ -33,10 +36,8 @@ fn main() {
             })
             .collect();
         for r in harness::average_runs(&runs) {
-            let row = harness::tsv_row(
-                &format!("{}\t{}", ds.name(), r.method.name()),
-                &r.distances,
-            );
+            let row =
+                harness::tsv_row(&format!("{}\t{}", ds.name(), r.method.name()), &r.distances);
             println!("{row}");
             writeln!(file, "{row}").unwrap();
         }

@@ -16,7 +16,10 @@ fn main() {
 
     let mut file = std::fs::File::create(out_dir.join("table4.tsv")).expect("create table4.tsv");
     let header = "dataset\tBFS\tSnowball\tFF\tRW\tGjoka_total\tGjoka_rewire\tProposed_total\tProposed_rewire\tspeedup";
-    println!("# Table IV — generation times in seconds at 10%% queried (runs = {}, RC = {})", args.runs, args.rc);
+    println!(
+        "# Table IV — generation times in seconds at 10%% queried (runs = {}, RC = {})",
+        args.runs, args.rc
+    );
     println!("{header}");
     writeln!(file, "{header}").unwrap();
 
@@ -40,7 +43,11 @@ fn main() {
         for s in &mut sums {
             *s /= args.runs as f64;
         }
-        let speedup = if sums[6] > 0.0 { sums[4] / sums[6] } else { f64::NAN };
+        let speedup = if sums[6] > 0.0 {
+            sums[4] / sums[6]
+        } else {
+            f64::NAN
+        };
         let row = format!(
             "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}",
             ds.name(),

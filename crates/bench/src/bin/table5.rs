@@ -31,10 +31,7 @@ fn main() {
     let avg = harness::average_runs(&runs);
 
     let mut file = std::fs::File::create(out_dir.join("table5.tsv")).expect("create table5.tsv");
-    let header = format!(
-        "method\t{}\tavg\tsd\ttime_sec",
-        PROPERTY_NAMES.join("\t")
-    );
+    let header = format!("method\t{}\tavg\tsd\ttime_sec", PROPERTY_NAMES.join("\t"));
     println!(
         "# Table V — YouTube analogue at 1%% queried (runs = {}, RC = {})",
         args.runs, args.rc

@@ -303,7 +303,8 @@ impl Args {
                 "--out" => args.out_dir = val.into(),
                 "--seed" => args.seed = val.parse().expect("--seed expects an integer"),
                 "--exact-threshold" => {
-                    args.exact_threshold = val.parse().expect("--exact-threshold expects an integer")
+                    args.exact_threshold =
+                        val.parse().expect("--exact-threshold expects an integer")
                 }
                 "--pivots" => args.pivots = val.parse().expect("--pivots expects an integer"),
                 other => panic!("unknown argument {other}"),

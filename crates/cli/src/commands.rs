@@ -82,8 +82,10 @@ pub fn generate(argv: &[String]) -> i32 {
                 .map_err(|e| e.to_string())?,
                 "ba" => sgr_gen::barabasi_albert(o.get_req("nodes")?, o.get_req("m")?, &mut rng)
                     .map_err(|e| e.to_string())?,
-                "er" => sgr_gen::erdos_renyi_gnm(o.get_req("nodes")?, o.get_req("edges")?, &mut rng)
-                    .map_err(|e| e.to_string())?,
+                "er" => {
+                    sgr_gen::erdos_renyi_gnm(o.get_req("nodes")?, o.get_req("edges")?, &mut rng)
+                        .map_err(|e| e.to_string())?
+                }
                 "ws" => sgr_gen::watts_strogatz(
                     o.get_req("nodes")?,
                     o.get_req("k")?,
@@ -207,8 +209,7 @@ pub fn restore(argv: &[String]) -> i32 {
 
 /// `sgr props`.
 pub fn props(argv: &[String]) -> i32 {
-    const USAGE: &str =
-        "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--seed N]";
+    const USAGE: &str = "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--seed N]";
     run(
         argv,
         USAGE,
@@ -318,14 +319,26 @@ mod tests {
         let sub_path = tmp("sub.edges");
         assert_eq!(
             crawl(&argv(&[
-                "--graph", &g_path, "--fraction", "0.1", "--out", &sub_path,
+                "--graph",
+                &g_path,
+                "--fraction",
+                "0.1",
+                "--out",
+                &sub_path,
             ])),
             0
         );
         let r_path = tmp("restored.edges");
         assert_eq!(
             restore(&argv(&[
-                "--graph", &g_path, "--fraction", "0.1", "--rc", "3", "--out", &r_path,
+                "--graph",
+                &g_path,
+                "--fraction",
+                "0.1",
+                "--rc",
+                "3",
+                "--out",
+                &r_path,
             ])),
             0
         );
@@ -349,10 +362,7 @@ mod tests {
             ("ba", vec!["--nodes", "100", "--m", "2"]),
             ("er", vec!["--nodes", "100", "--edges", "200"]),
             ("ws", vec!["--nodes", "100", "--k", "3", "--beta", "0.1"]),
-            (
-                "analogue",
-                vec!["--dataset", "anybeat", "--scale", "0.02"],
-            ),
+            ("analogue", vec!["--dataset", "anybeat", "--scale", "0.02"]),
         ] {
             let out = tmp(&format!("{model}.edges"));
             let mut a = vec!["--model", model, "--out", &out];
@@ -363,7 +373,10 @@ mod tests {
 
     #[test]
     fn bad_input_returns_nonzero() {
-        assert_ne!(generate(&argv(&["--model", "nosuch", "--out", "/dev/null"])), 0);
+        assert_ne!(
+            generate(&argv(&["--model", "nosuch", "--out", "/dev/null"])),
+            0
+        );
         assert_ne!(crawl(&argv(&["--graph", "/nonexistent/file"])), 0);
         assert_ne!(props(&argv(&["--graph", "/nonexistent/file"])), 0);
         assert_ne!(generate(&argv(&["--unknown-flag", "x"])), 0);
@@ -399,7 +412,14 @@ mod tests {
             let out = tmp(&format!("sub_{walk}.edges"));
             assert_eq!(
                 crawl(&argv(&[
-                    "--graph", &g_path, "--walk", walk, "--fraction", "0.1", "--out", &out,
+                    "--graph",
+                    &g_path,
+                    "--walk",
+                    walk,
+                    "--fraction",
+                    "0.1",
+                    "--out",
+                    &out,
                 ])),
                 0,
                 "walk {walk} failed"

@@ -96,7 +96,10 @@ mod tests {
         let start = am.random_seed(&mut rng);
         let target = ((n as f64 * frac) as usize).max(3);
         let crawl = random_walk(&mut am, start, target, &mut rng);
-        (crawl.subgraph(), sgr_estimate::estimate_all(&crawl).unwrap())
+        (
+            crawl.subgraph(),
+            sgr_estimate::estimate_all(&crawl).unwrap(),
+        )
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
             for k in 1..=jdm.k_max {
                 for k2 in k..=jdm.k_max {
                     assert_eq!(
-                        measured_jdm.get(&(k as u32, k2 as u32)).copied().unwrap_or(0),
+                        measured_jdm
+                            .get(&(k as u32, k2 as u32))
+                            .copied()
+                            .unwrap_or(0),
                         jdm.m_star[k][k2],
                         "m({k},{k2}) off (seed {seed})"
                     );
@@ -136,10 +142,7 @@ mod tests {
                 assert!(idx.get(u, v) >= 1);
             }
             // Added edges + subgraph edges = all edges.
-            assert_eq!(
-                built.added_edges.len() + sg.num_edges(),
-                g.num_edges()
-            );
+            assert_eq!(built.added_edges.len() + sg.num_edges(), g.num_edges());
         }
     }
 

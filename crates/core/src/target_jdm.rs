@@ -162,12 +162,7 @@ fn measure_subgraph_jdm(sg: &Subgraph, dv: &TargetDv) -> Vec<Vec<u64>> {
 /// target `s*(k) = k·n*(k)`, processing degrees in decreasing order,
 /// never decreasing an entry below `m_min`, and raising `n*(k)` when
 /// decreasing is impossible.
-fn adjust(
-    jdm: &mut TargetJdm,
-    dv: &mut TargetDv,
-    m_min: &[Vec<u64>],
-    rng: &mut Xoshiro256pp,
-) {
+fn adjust(jdm: &mut TargetJdm, dv: &mut TargetDv, m_min: &[Vec<u64>], rng: &mut Xoshiro256pp) {
     let k_max = jdm.k_max;
     // Current marginals.
     let mut s: Vec<i64> = (0..=k_max).map(|k| jdm.marginal(k) as i64).collect();
@@ -338,7 +333,10 @@ mod tests {
         let start = am.random_seed(&mut rng);
         let target = ((n as f64 * frac) as usize).max(3);
         let crawl = random_walk(&mut am, start, target, &mut rng);
-        (crawl.subgraph(), sgr_estimate::estimate_all(&crawl).unwrap())
+        (
+            crawl.subgraph(),
+            sgr_estimate::estimate_all(&crawl).unwrap(),
+        )
     }
 
     /// Verifies the four JDM realizability conditions after the build.
@@ -444,7 +442,10 @@ mod tests {
         }
         assert_eq!(hits[0], 0);
         assert_eq!(hits[2], 0);
-        assert!(hits[1] > 800 && hits[3] > 800, "ties not randomized: {hits:?}");
+        assert!(
+            hits[1] > 800 && hits[3] > 800,
+            "ties not randomized: {hits:?}"
+        );
         assert!(pick_min(0..4, &mut rng, |_| None::<f64>).is_none());
     }
 

@@ -16,7 +16,11 @@ use sgr_util::Xoshiro256pp;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DkError {
     /// A node's target degree is below its current degree.
-    TargetBelowCurrent { node: NodeId, current: usize, target: usize },
+    TargetBelowCurrent {
+        node: NodeId,
+        current: usize,
+        target: usize,
+    },
     /// A degree class ran out of free stubs while wiring `(k, k')`.
     OutOfStubs { k: u32, k2: u32 },
     /// Free stubs remained after wiring every requested edge, i.e. the
@@ -27,7 +31,11 @@ pub enum DkError {
 impl std::fmt::Display for DkError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DkError::TargetBelowCurrent { node, current, target } => write!(
+            DkError::TargetBelowCurrent {
+                node,
+                current,
+                target,
+            } => write!(
                 f,
                 "node {node} has degree {current} above its target {target}"
             ),
@@ -87,7 +95,8 @@ pub fn wire_stubs(
         .map(|(&kk, &c)| (kk, c))
         .collect();
     pairs.sort_unstable();
-    let mut added: Vec<(NodeId, NodeId)> = Vec::with_capacity(pairs.iter().map(|&(_, c)| c as usize).sum());
+    let mut added: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity(pairs.iter().map(|&(_, c)| c as usize).sum());
     for ((k, k2), count) in pairs {
         for _ in 0..count {
             let (u, v) = if k == k2 {
@@ -129,7 +138,7 @@ pub fn wire_stubs(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::extract::{joint_degree_matrix, jdm_matches_degree_vector};
+    use crate::extract::{jdm_matches_degree_vector, joint_degree_matrix};
     use sgr_util::FxHashMap;
 
     fn rng() -> Xoshiro256pp {

@@ -72,7 +72,9 @@ pub fn jdm_is_symmetric(m: &JointDegreeMatrix) -> bool {
 pub fn jdm_matches_degree_vector(m: &JointDegreeMatrix, dv: &DegreeVector) -> bool {
     let k_max = dv.len().saturating_sub(1) as u32;
     // Also ensure no JDM entry refers to a degree outside the vector.
-    if m.keys().any(|&(k, k2)| k > k_max || k2 > k_max || k == 0 || k2 == 0) {
+    if m.keys()
+        .any(|&(k, k2)| k > k_max || k2 > k_max || k == 0 || k2 == 0)
+    {
         return false;
     }
     (1..=k_max).all(|k| {
@@ -153,8 +155,8 @@ mod tests {
 
     #[test]
     fn random_graph_marginals_hold() {
-        let g = sgr_gen::holme_kim(500, 3, 0.5, &mut sgr_util::Xoshiro256pp::seed_from_u64(7))
-            .unwrap();
+        let g =
+            sgr_gen::holme_kim(500, 3, 0.5, &mut sgr_util::Xoshiro256pp::seed_from_u64(7)).unwrap();
         let m = joint_degree_matrix(&g);
         assert!(jdm_is_symmetric(&m));
         assert!(jdm_matches_degree_vector(&m, &g.degree_vector()));

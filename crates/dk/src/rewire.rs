@@ -1,4 +1,5 @@
-//! The 2.5K rewiring engine (§IV-E / Algorithm 6).
+//! The 2.5K rewiring engine (§IV-E / Algorithm 6), built around
+//! **evaluate-then-commit** swap attempts.
 //!
 //! Given a graph whose degree vector and joint degree matrix are already
 //! correct, repeatedly pick two candidate edges `(v_i, v_j)` and
@@ -14,15 +15,64 @@
 //! unchanged and the attempt budget `R = R_C · |Ẽ_rew|` shrinks. Gjoka et
 //! al.'s variant passes every edge as a candidate.
 //!
-//! Per-attempt cost is O(k̄²) on average: the swap's effect on every
-//! node's triangle count `t_i` is computed incrementally from common
-//! neighborhoods (never a global recount), and `D` is updated only at the
-//! affected degrees.
+//! # Evaluate-then-commit
+//!
+//! Rewiring dominates generation time (the paper's Table IV), and late in
+//! a run almost every attempt is **rejected** — the distance is near its
+//! floor and few swaps still improve it. An apply-rollback engine (kept in
+//! [`reference`] as the correctness baseline) makes every one of those
+//! rejected attempts pay worst-case cost: four edge toggles applied to the
+//! graph *and* the multiplicity index, two hash-map allocations, then a
+//! second round of four toggles to roll everything back.
+//!
+//! [`RewireEngine`] instead *predicts* the swap's effect without touching
+//! shared state:
+//!
+//! 1. **Read-only evaluation.** The four toggles (remove `(v_i, v_j)`,
+//!    remove `(v_{i'}, v_{j'})`, add `(v_i, v_{j'})`, add `(v_{i'}, v_j)`)
+//!    are emulated in sequence against an *effective adjacency*: `A_uv`
+//!    reads combine the untouched [`MultiplicityIndex`] with a fixed-size
+//!    array of at most four pending pair deltas. The interaction terms
+//!    between toggles (e.g. the `A_{v_j v_{j'}}` and `A_{v_i v_{i'}}`
+//!    corrections) therefore fall out arithmetically — each scan sees
+//!    exactly the intermediate state the sequential reference sees, so the
+//!    per-node triangle deltas `Δt_i` match the reference integer for
+//!    integer.
+//! 2. **Decision.** `Δt` is folded into per-degree candidate sums `S'(k)`
+//!    and a predicted distance `D'` ([`EngineCore::fold_decide`], shared
+//!    verbatim with the reference so accept/reject decisions and the final
+//!    distance are bitwise identical).
+//! 3. **Commit.** Only when `D' < D` are the graph, the index, `t`,
+//!    `S(k)`, and the candidate-slot bookkeeping mutated — four structural
+//!    toggles with **no** common-neighbor scans, since the deltas are
+//!    already known. Rejected attempts touch no shared state at all, which
+//!    a debug-build mutation counter on the index asserts.
+//!
+//! All per-attempt working memory lives in epoch-stamped scratch arenas
+//! ([`sgr_util::scratch::ScratchAccum`]) sized once at engine
+//! construction, so rejected attempts perform **zero heap allocations**
+//! (accepted swaps may rarely trigger an amortized index-vec growth when
+//! they introduce a new distinct neighbor; everything else is in-place).
+//!
+//! # Per-attempt complexity
+//!
+//! A rejected attempt costs exactly one evaluation: four common-neighbor
+//! scans over the *smaller* endpoint neighborhood each — O(k̄) entries on
+//! average with O(1) effective-adjacency probes, i.e. O(k̄²) work against
+//! the hybrid index's typical sorted-small-vec nodes — plus an O(τ log τ)
+//! fold over the τ ≤ O(k̄) touched nodes. An accepted attempt adds four
+//! scan-free structural toggles and O(1) slot/bucket bookkeeping. The
+//! apply-rollback reference pays the same evaluation cost *plus* eight
+//! mutating toggles (four of them pure waste on rejection) and two hash
+//! maps' worth of allocation per attempt.
 
 use sgr_graph::index::MultiplicityIndex;
 use sgr_graph::{Graph, NodeId};
 use sgr_props::triangles::triangle_counts_with_index;
+use sgr_util::scratch::ScratchAccum;
 use sgr_util::{FxHashMap, Xoshiro256pp};
+
+pub mod reference;
 
 /// Statistics from a rewiring run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,42 +90,54 @@ pub struct RewireStats {
     pub final_distance: f64,
 }
 
-/// The rewiring engine. Owns the graph while rewiring;
-/// [`into_graph`](RewireEngine::into_graph) releases it.
-pub struct RewireEngine {
-    graph: Graph,
-    idx: MultiplicityIndex,
-    /// Per-node triangle counts `t_i` (signed for incremental updates).
-    t: Vec<i64>,
-    /// Node degrees (invariant under rewiring).
-    deg: Vec<u32>,
-    /// `n(k)` — number of nodes of each degree.
-    nk: Vec<u64>,
-    /// `S(k) = Σ_{deg i = k} 2 t_i / (k (k-1))`, so `c̄(k) = S(k)/n(k)`.
-    s: Vec<f64>,
-    /// Target `ĉ̄(k)`, zero-padded to the degree range.
-    target: Vec<f64>,
-    /// `Σ_k ĉ̄(k)` — the normalization of `D`.
-    norm: f64,
-    /// Current **unnormalized** distance `Σ_k |c̄(k) - ĉ̄(k)|`.
-    dist_raw: f64,
-    /// Candidate edge slots (the rewirable multiset `Ẽ_rew`).
-    slots: Vec<(NodeId, NodeId)>,
-    /// `buckets[k]` — (slot, side) pairs whose endpoint has degree `k`.
-    buckets: Vec<Vec<(u32, u8)>>,
-    /// `pos[slot][side]` — index of that (slot, side) in its bucket.
-    pos: Vec<[u32; 2]>,
+/// One picked (and structurally valid) swap: slots `e1`/`e2` with the
+/// chosen orientations, and the four endpoint nodes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SwapPick {
+    e1: u32,
+    side1: u8,
+    e2: u32,
+    side2: u8,
+    vi: NodeId,
+    vj: NodeId,
+    vi2: NodeId,
+    vj2: NodeId,
 }
 
-impl RewireEngine {
-    /// Creates an engine over `graph` with rewirable edge multiset
-    /// `candidates` (each entry one edge instance present in the graph)
-    /// and target clustering `target_c` (indexed by degree).
-    ///
-    /// For the proposed method, `candidates` is the set of edges *added*
-    /// by the construction phase; for Gjoka et al.'s method it is every
-    /// edge of the graph.
-    pub fn new(graph: Graph, candidates: Vec<(NodeId, NodeId)>, target_c: &[f64]) -> Self {
+/// State shared by the evaluate-then-commit engine and the apply-rollback
+/// reference: the evolving graph, its multiplicity index, cached triangle
+/// counts and clustering sums, and the candidate-slot bookkeeping.
+///
+/// Every routine that influences an accept/reject decision lives here and
+/// is executed by both engines with identical RNG-draw order and float
+/// operation order, which is what makes the two bitwise-equivalent.
+pub(crate) struct EngineCore {
+    pub(crate) graph: Graph,
+    pub(crate) idx: MultiplicityIndex,
+    /// Per-node triangle counts `t_i` (signed for incremental updates).
+    pub(crate) t: Vec<i64>,
+    /// Node degrees (invariant under rewiring).
+    pub(crate) deg: Vec<u32>,
+    /// `n(k)` — number of nodes of each degree.
+    pub(crate) nk: Vec<u64>,
+    /// `S(k) = Σ_{deg i = k} 2 t_i / (k (k-1))`, so `c̄(k) = S(k)/n(k)`.
+    pub(crate) s: Vec<f64>,
+    /// Target `ĉ̄(k)`, zero-padded to the degree range.
+    pub(crate) target: Vec<f64>,
+    /// `Σ_k ĉ̄(k)` — the normalization of `D`.
+    pub(crate) norm: f64,
+    /// Current **unnormalized** distance `Σ_k |c̄(k) - ĉ̄(k)|`.
+    pub(crate) dist_raw: f64,
+    /// Candidate edge slots (the rewirable multiset `Ẽ_rew`).
+    pub(crate) slots: Vec<(NodeId, NodeId)>,
+    /// `buckets[k]` — (slot, side) pairs whose endpoint has degree `k`.
+    pub(crate) buckets: Vec<Vec<(u32, u8)>>,
+    /// `pos[slot][side]` — index of that (slot, side) in its bucket.
+    pub(crate) pos: Vec<[u32; 2]>,
+}
+
+impl EngineCore {
+    pub(crate) fn new(graph: Graph, candidates: Vec<(NodeId, NodeId)>, target_c: &[f64]) -> Self {
         let idx = MultiplicityIndex::build(&graph);
         let t: Vec<i64> = triangle_counts_with_index(&graph, &idx)
             .into_iter()
@@ -133,9 +195,7 @@ impl RewireEngine {
         }
     }
 
-    /// Current normalized distance `D` (unnormalized L1 if the target has
-    /// zero mass).
-    pub fn distance(&self) -> f64 {
+    pub(crate) fn distance(&self) -> f64 {
         if self.norm > 0.0 {
             self.dist_raw / self.norm
         } else {
@@ -143,13 +203,7 @@ impl RewireEngine {
         }
     }
 
-    /// Number of rewirable edge slots `|Ẽ_rew|`.
-    pub fn num_candidates(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Current `c̄(k)` of the evolving graph.
-    pub fn current_clustering(&self) -> Vec<f64> {
+    pub(crate) fn current_clustering(&self) -> Vec<f64> {
         self.s
             .iter()
             .zip(self.nk.iter())
@@ -157,38 +211,11 @@ impl RewireEngine {
             .collect()
     }
 
-    /// Runs `R = ceil(rc · |Ẽ_rew|)` attempts (§IV-E; the paper uses
-    /// `R_C = 500`).
-    pub fn run(&mut self, rc: f64, rng: &mut Xoshiro256pp) -> RewireStats {
-        let attempts = (rc * self.slots.len() as f64).ceil() as u64;
-        self.run_attempts(attempts, rng)
-    }
-
-    /// Runs exactly `attempts` swap attempts.
-    pub fn run_attempts(&mut self, attempts: u64, rng: &mut Xoshiro256pp) -> RewireStats {
-        let mut stats = RewireStats {
-            attempts,
-            initial_distance: self.distance(),
-            ..Default::default()
-        };
-        if self.slots.len() < 2 {
-            stats.skipped = attempts;
-            stats.final_distance = self.distance();
-            return stats;
-        }
-        for _ in 0..attempts {
-            if self.attempt(rng) {
-                stats.accepted += 1;
-            } else {
-                stats.skipped += 1; // rejected or structurally skipped
-            }
-        }
-        stats.final_distance = self.distance();
-        stats
-    }
-
-    /// One swap attempt; returns whether it was accepted.
-    pub fn attempt(&mut self, rng: &mut Xoshiro256pp) -> bool {
+    /// Draws a candidate swap. `None` means the attempt is structurally
+    /// skipped (no equal-degree partner, identical slot, would create a
+    /// self-loop, or is a no-op). The RNG-draw order here defines the
+    /// shared random stream of both engine implementations.
+    pub(crate) fn pick_swap(&self, rng: &mut Xoshiro256pp) -> Option<SwapPick> {
         // Pick edge 1 and an orientation: (v_i, v_j).
         let e1 = rng.gen_range(self.slots.len()) as u32;
         let side1 = rng.gen_range(2) as u8;
@@ -198,11 +225,11 @@ impl RewireEngine {
         let k = self.deg[vi as usize] as usize;
         let bucket = &self.buckets[k];
         if bucket.len() < 2 {
-            return false;
+            return None;
         }
         let (e2, side2) = bucket[rng.gen_range(bucket.len())];
         if e2 == e1 {
-            return false;
+            return None;
         }
         let (a2, b2) = self.slots[e2 as usize];
         let (vi2, vj2) = if side2 == 0 { (a2, b2) } else { (b2, a2) };
@@ -210,22 +237,38 @@ impl RewireEngine {
         // Proposed swap: (vi, vj), (vi2, vj2) -> (vi, vj2), (vi2, vj).
         // Reject self-loops (they would change degrees) and no-ops.
         if vi == vj2 || vi2 == vj {
-            return false;
+            return None;
         }
         if vj == vj2 {
-            return false; // swap is a no-op
+            return None; // swap is a no-op
         }
+        Some(SwapPick {
+            e1,
+            side1,
+            e2,
+            side2,
+            vi,
+            vj,
+            vi2,
+            vj2,
+        })
+    }
 
-        // Apply the four edge toggles incrementally, tracking Δt and the
-        // affected degree classes; roll back if D does not improve.
-        let mut touched: FxHashMap<NodeId, i64> = FxHashMap::default();
-        self.toggle_edge(vi, vj, -1, &mut touched);
-        self.toggle_edge(vi2, vj2, -1, &mut touched);
-        self.toggle_edge(vi, vj2, 1, &mut touched);
-        self.toggle_edge(vi2, vj, 1, &mut touched);
-
-        // Fold the triangle deltas into t and S(k).
-        for (&node, &dt) in touched.iter() {
+    /// Folds sorted per-node triangle deltas into predicted per-degree
+    /// sums `S'(k)` (written into `new_s`) and returns the predicted
+    /// unnormalized distance `D'`.
+    ///
+    /// Both engine implementations route their decision through this one
+    /// function with node-sorted input, so the floating-point operation
+    /// order — and therefore every accept/reject decision and the final
+    /// distance — is identical between them.
+    pub(crate) fn fold_decide(
+        &self,
+        touched: &[(NodeId, i64)],
+        new_s: &mut ScratchAccum<f64>,
+    ) -> f64 {
+        new_s.begin();
+        for &(node, dt) in touched {
             if dt == 0 {
                 continue;
             }
@@ -233,152 +276,70 @@ impl RewireEngine {
             if d < 2 {
                 continue; // degree-<2 nodes always have dt == 0 anyway
             }
-            self.s[d] += 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
-            self.t[node as usize] += dt;
+            *new_s.entry_or(d as u32, self.s[d]) += 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
         }
         // Recompute the distance terms of the affected degrees exactly
         // (several touched nodes may share a degree).
-        let mut affected: Vec<usize> = touched
-            .iter()
-            .filter(|&(_, &dt)| dt != 0)
-            .map(|(&node, _)| self.deg[node as usize] as usize)
-            .filter(|&d| d >= 2)
-            .collect();
-        affected.sort_unstable();
-        affected.dedup();
+        new_s.sort_touched();
         let mut new_raw = self.dist_raw;
-        for &d in &affected {
-            // Old term: recompute from S(k) *before* this attempt by
-            // undoing the node deltas of this degree.
-            let mut old_s = self.s[d];
-            for (&node, &dt) in touched.iter() {
-                if self.deg[node as usize] as usize == d && dt != 0 {
-                    old_s -= 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
-                }
-            }
+        for i in 0..new_s.touched().len() {
+            let d = new_s.touched()[i] as usize;
             let nk = self.nk[d] as f64;
-            new_raw -= (old_s / nk - self.target[d]).abs();
-            new_raw += (self.s[d] / nk - self.target[d]).abs();
+            new_raw -= (self.s[d] / nk - self.target[d]).abs();
+            new_raw += (new_s.get(d as u32) / nk - self.target[d]).abs();
         }
-
-        if new_raw < self.dist_raw {
-            // Accept: commit slot endpoints and bucket bookkeeping.
-            self.dist_raw = new_raw;
-            self.commit_swap(e1, side1, e2, side2);
-            true
-        } else {
-            // Reject: roll back triangle counts, S(k), and the graph.
-            for (&node, &dt) in touched.iter() {
-                if dt == 0 {
-                    continue;
-                }
-                let d = self.deg[node as usize] as usize;
-                self.t[node as usize] -= dt;
-                if d >= 2 {
-                    self.s[d] -= 2.0 * dt as f64 / (d as f64 * (d as f64 - 1.0));
-                }
-            }
-            let mut untouched: FxHashMap<NodeId, i64> = FxHashMap::default();
-            self.toggle_edge(vi, vj2, -1, &mut untouched);
-            self.toggle_edge(vi2, vj, -1, &mut untouched);
-            self.toggle_edge(vi, vj, 1, &mut untouched);
-            self.toggle_edge(vi2, vj2, 1, &mut untouched);
-            false
-        }
+        new_raw
     }
 
-    /// Adds (`sign = +1`) or removes (`-1`) one copy of edge `{u, v}`
-    /// (`u ≠ v`), updating graph + index and accumulating triangle deltas
-    /// into `touched`. Δt is evaluated on the *pre-toggle* adjacency for
-    /// removals and post-toggle for additions, which a uniform rule
-    /// captures: count common neighbors excluding the edge copy being
-    /// toggled — i.e. compute on the state *without* that copy.
-    fn toggle_edge(&mut self, u: NodeId, v: NodeId, sign: i64, touched: &mut FxHashMap<NodeId, i64>) {
-        if u == v {
-            // A self-loop slot being dissolved (or, never in practice,
-            // created): loops take part in no triangle, so only the graph
-            // and index change.
-            if sign < 0 {
-                self.graph.remove_edge(u, u);
-                self.idx.remove_edge(u, u);
-            } else {
-                self.graph.add_edge(u, u);
-                self.idx.add_edge(u, u);
-            }
-            return;
-        }
-        if sign < 0 {
-            self.graph.remove_edge(u, v);
-            self.idx.remove_edge(u, v);
-        }
-        // Common-neighbor scan on the state without the toggled copy.
-        // Iterate the endpoint with fewer distinct neighbors.
-        let (x, y) = {
-            let du = self.idx.entries(u).count();
-            let dv = self.idx.entries(v).count();
-            if du <= dv {
-                (u, v)
-            } else {
-                (v, u)
-            }
-        };
-        let mut common = 0i64;
-        // Collect to avoid holding a borrow of idx while mutating touched.
-        let entries: Vec<(NodeId, u32)> = self
-            .idx
-            .entries(x)
-            .filter(|&(w, _)| w != u && w != v)
-            .collect();
-        for (w, a_xw) in entries {
-            let a_yw = self.idx.get(y, w);
-            if a_yw > 0 {
-                let prod = a_xw as i64 * a_yw as i64;
-                common += prod;
-                *touched.entry(w).or_insert(0) += sign * prod;
+    /// Commits an accepted decision's cached quantities: per-node triangle
+    /// counts from `touched`, per-degree sums from `new_s`, and the new
+    /// distance.
+    pub(crate) fn commit_decision(
+        &mut self,
+        touched: &[(NodeId, i64)],
+        new_s: &ScratchAccum<f64>,
+        new_raw: f64,
+    ) {
+        for &(node, dt) in touched {
+            if dt != 0 {
+                self.t[node as usize] += dt;
             }
         }
-        *touched.entry(u).or_insert(0) += sign * common;
-        *touched.entry(v).or_insert(0) += sign * common;
-        if sign > 0 {
-            self.graph.add_edge(u, v);
-            self.idx.add_edge(u, v);
+        for &d in new_s.touched() {
+            self.s[d as usize] = new_s.get(d);
         }
+        self.dist_raw = new_raw;
     }
 
     /// Updates slots and degree buckets after an accepted swap: slot `e1`
     /// becomes `(v_i, v_{j'})`, slot `e2` becomes `(v_{i'}, v_j)` — i.e.
     /// the two *second* endpoints exchange slots.
-    fn commit_swap(&mut self, e1: u32, side1: u8, e2: u32, side2: u8) {
-        let o1 = 1 - side1; // side of vj in e1
-        let o2 = 1 - side2; // side of vj' in e2
-        let vj = endpoint(self.slots[e1 as usize], o1);
-        let vj2 = endpoint(self.slots[e2 as usize], o2);
-        set_endpoint(&mut self.slots[e1 as usize], o1, vj2);
-        set_endpoint(&mut self.slots[e2 as usize], o2, vj);
+    pub(crate) fn commit_slot_swap(&mut self, p: &SwapPick) {
+        let o1 = 1 - p.side1; // side of vj in e1
+        let o2 = 1 - p.side2; // side of vj' in e2
+        let vj = endpoint(self.slots[p.e1 as usize], o1);
+        let vj2 = endpoint(self.slots[p.e2 as usize], o2);
+        set_endpoint(&mut self.slots[p.e1 as usize], o1, vj2);
+        set_endpoint(&mut self.slots[p.e2 as usize], o2, vj);
         // Bucket bookkeeping: the entries (e1, o1) and (e2, o2) now refer
         // to nodes of possibly different degrees; swap their bucket
         // residency if the degrees differ.
         let k_j = self.deg[vj as usize] as usize;
         let k_j2 = self.deg[vj2 as usize] as usize;
         if k_j != k_j2 {
-            let p1 = self.pos[e1 as usize][o1 as usize]; // in buckets[k_j]
-            let p2 = self.pos[e2 as usize][o2 as usize]; // in buckets[k_j2]
-            // (e1, o1) moves to bucket[k_j2]; (e2, o2) moves to bucket[k_j].
-            self.buckets[k_j][p1 as usize] = (e2, o2);
-            self.buckets[k_j2][p2 as usize] = (e1, o1);
-            self.pos[e2 as usize][o2 as usize] = p1;
-            self.pos[e1 as usize][o1 as usize] = p2;
+            let p1 = self.pos[p.e1 as usize][o1 as usize]; // in buckets[k_j]
+            let p2 = self.pos[p.e2 as usize][o2 as usize]; // in buckets[k_j2]
+                                                           // (e1, o1) moves to bucket[k_j2]; (e2, o2) moves to bucket[k_j].
+            self.buckets[k_j][p1 as usize] = (p.e2, o2);
+            self.buckets[k_j2][p2 as usize] = (p.e1, o1);
+            self.pos[p.e2 as usize][o2 as usize] = p1;
+            self.pos[p.e1 as usize][o1 as usize] = p2;
         }
-    }
-
-    /// Releases the rewired graph.
-    pub fn into_graph(self) -> Graph {
-        self.graph
     }
 
     /// Consistency check used by tests: recomputes every maintained
     /// quantity from scratch and compares.
-    pub fn validate(&self) -> Result<(), String> {
+    pub(crate) fn validate(&self) -> Result<(), String> {
         self.idx
             .validate_against(&self.graph)
             .map_err(|e| format!("index: {e}"))?;
@@ -425,9 +386,295 @@ impl RewireEngine {
             raw += (cur - self.target[k]).abs();
         }
         if (raw - self.dist_raw).abs() > 1e-6 * raw.abs().max(1.0) {
-            return Err(format!("distance drift: cached {} vs fresh {raw}", self.dist_raw));
+            return Err(format!(
+                "distance drift: cached {} vs fresh {raw}",
+                self.dist_raw
+            ));
         }
         Ok(())
+    }
+}
+
+/// Fixed-capacity record of the evaluation's pending edge-multiplicity
+/// changes: at most the four unordered pairs a swap can touch. Reads cost
+/// a ≤4-element linear probe; no heap.
+#[derive(Clone, Copy, Debug, Default)]
+struct PendingDeltas {
+    pairs: [((NodeId, NodeId), i32); 4],
+    len: usize,
+}
+
+impl PendingDeltas {
+    #[inline]
+    fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, u: NodeId, v: NodeId, delta: i32) {
+        let k = Self::key(u, v);
+        for i in 0..self.len {
+            if self.pairs[i].0 == k {
+                self.pairs[i].1 += delta;
+                return;
+            }
+        }
+        debug_assert!(self.len < 4, "a swap touches at most four pairs");
+        self.pairs[self.len] = (k, delta);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn delta(&self, u: NodeId, v: NodeId) -> i32 {
+        let k = Self::key(u, v);
+        for i in 0..self.len {
+            if self.pairs[i].0 == k {
+                return self.pairs[i].1;
+            }
+        }
+        0
+    }
+}
+
+/// The evaluate-then-commit rewiring engine. Owns the graph while
+/// rewiring; [`into_graph`](RewireEngine::into_graph) releases it.
+///
+/// See the module docs for the design; the apply-rollback baseline lives
+/// in [`reference::ApplyRollbackEngine`] and is bitwise-equivalent in
+/// decisions, final edge multiset, and final distance.
+pub struct RewireEngine {
+    core: EngineCore,
+    /// Per-node triangle deltas of the attempt under evaluation.
+    scratch_t: ScratchAccum<i64>,
+    /// Predicted per-degree sums `S'(k)` of the attempt under evaluation.
+    scratch_s: ScratchAccum<f64>,
+    /// Node-sorted `(node, Δt)` pairs (reused across attempts).
+    pairs: Vec<(NodeId, i64)>,
+}
+
+impl RewireEngine {
+    /// Creates an engine over `graph` with rewirable edge multiset
+    /// `candidates` (each entry one edge instance present in the graph)
+    /// and target clustering `target_c` (indexed by degree).
+    ///
+    /// For the proposed method, `candidates` is the set of edges *added*
+    /// by the construction phase; for Gjoka et al.'s method it is every
+    /// edge of the graph.
+    pub fn new(graph: Graph, candidates: Vec<(NodeId, NodeId)>, target_c: &[f64]) -> Self {
+        let core = EngineCore::new(graph, candidates, target_c);
+        let n = core.graph.num_nodes();
+        let degrees = core.s.len();
+        Self {
+            core,
+            scratch_t: ScratchAccum::with_keys(n),
+            scratch_s: ScratchAccum::with_keys(degrees),
+            pairs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Current normalized distance `D` (unnormalized L1 if the target has
+    /// zero mass).
+    pub fn distance(&self) -> f64 {
+        self.core.distance()
+    }
+
+    /// Number of rewirable edge slots `|Ẽ_rew|`.
+    pub fn num_candidates(&self) -> usize {
+        self.core.slots.len()
+    }
+
+    /// Current `c̄(k)` of the evolving graph.
+    pub fn current_clustering(&self) -> Vec<f64> {
+        self.core.current_clustering()
+    }
+
+    /// Runs `R = ceil(rc · |Ẽ_rew|)` attempts (§IV-E; the paper uses
+    /// `R_C = 500`).
+    pub fn run(&mut self, rc: f64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let attempts = (rc * self.core.slots.len() as f64).ceil() as u64;
+        self.run_attempts(attempts, rng)
+    }
+
+    /// Runs exactly `attempts` swap attempts.
+    pub fn run_attempts(&mut self, attempts: u64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let mut stats = RewireStats {
+            attempts,
+            initial_distance: self.distance(),
+            ..Default::default()
+        };
+        if self.core.slots.len() < 2 {
+            stats.skipped = attempts;
+            stats.final_distance = self.distance();
+            return stats;
+        }
+        for _ in 0..attempts {
+            if self.attempt(rng) {
+                stats.accepted += 1;
+            } else {
+                stats.skipped += 1; // rejected or structurally skipped
+            }
+        }
+        stats.final_distance = self.distance();
+        stats
+    }
+
+    /// One swap attempt; returns whether it was accepted. Rejected
+    /// attempts perform no graph/index/cache mutations and no heap
+    /// allocations.
+    pub fn attempt(&mut self, rng: &mut Xoshiro256pp) -> bool {
+        let mutations_before = self.core.idx.mutation_count();
+        let Some(pick) = self.core.pick_swap(rng) else {
+            return false;
+        };
+
+        // --- Evaluate: predict every Δt_i by read-only scans.
+        self.scratch_t.begin();
+        let mut pending = PendingDeltas::default();
+        let specials = [pick.vi, pick.vj, pick.vi2, pick.vj2];
+        self.eval_toggle(pick.vi, pick.vj, -1, &mut pending, &specials);
+        self.eval_toggle(pick.vi2, pick.vj2, -1, &mut pending, &specials);
+        self.eval_toggle(pick.vi, pick.vj2, 1, &mut pending, &specials);
+        self.eval_toggle(pick.vi2, pick.vj, 1, &mut pending, &specials);
+
+        // --- Decide: fold node-sorted deltas into a predicted distance.
+        self.scratch_t.sort_touched();
+        self.pairs.clear();
+        for i in 0..self.scratch_t.touched().len() {
+            let node = self.scratch_t.touched()[i];
+            self.pairs.push((node, self.scratch_t.get(node)));
+        }
+        let new_raw = self.core.fold_decide(&self.pairs, &mut self.scratch_s);
+
+        if new_raw < self.core.dist_raw {
+            // --- Commit: structural toggles (scan-free) + cached state.
+            self.core
+                .commit_decision(&self.pairs, &self.scratch_s, new_raw);
+            apply_structural(&mut self.core, pick.vi, pick.vj, -1);
+            apply_structural(&mut self.core, pick.vi2, pick.vj2, -1);
+            apply_structural(&mut self.core, pick.vi, pick.vj2, 1);
+            apply_structural(&mut self.core, pick.vi2, pick.vj, 1);
+            self.core.commit_slot_swap(&pick);
+            true
+        } else {
+            // Rejected: nothing was mutated — assert it.
+            debug_assert_eq!(self.core.idx.mutation_count(), mutations_before);
+            false
+        }
+    }
+
+    /// Emulates one edge toggle (`sign = ±1` copy of `{u, v}`) against the
+    /// effective adjacency (index ⊕ pending deltas), accumulating triangle
+    /// deltas into `scratch_t`. Mirrors the reference's mutating
+    /// `toggle_edge` exactly: removals are scanned on the state *without*
+    /// the removed copy, additions likewise.
+    fn eval_toggle(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        sign: i64,
+        pending: &mut PendingDeltas,
+        specials: &[NodeId; 4],
+    ) {
+        if u == v {
+            // A self-loop slot being dissolved (or, never in practice,
+            // created): loops take part in no triangle.
+            pending.add(u, u, if sign < 0 { -2 } else { 2 });
+            return;
+        }
+        if sign < 0 {
+            pending.add(u, v, -1);
+        }
+        // Common-neighbor scan on the state without the toggled copy.
+        // Iterate the endpoint with the smaller degree — O(1) via the
+        // invariant deg[] (degrees never change under equal-degree swaps).
+        let (x, y) = if self.core.deg[u as usize] <= self.core.deg[v as usize] {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        // Pending deltas only involve the swap's four endpoints, so for
+        // any common neighbor w outside {o0, o1} (the two endpoints not
+        // on this edge) the raw index values are already effective —
+        // that fast path skips the pending probes entirely.
+        let mut o = [u; 2];
+        let mut no = 0usize;
+        for &s in specials {
+            if s != u && s != v && !o[..no].contains(&s) {
+                o[no] = s;
+                no += 1;
+            }
+        }
+        let (o0, o1) = (o[0], o[no.min(1)]);
+        let mut common = 0i64;
+        for (w, raw_xw) in self.core.idx.entries(x) {
+            if w == u || w == v {
+                continue;
+            }
+            let prod = if w == o0 || w == o1 {
+                let a_xw = raw_xw as i64 + pending.delta(x, w) as i64;
+                if a_xw <= 0 {
+                    continue;
+                }
+                let a_yw = self.core.idx.get(y, w) as i64 + pending.delta(y, w) as i64;
+                if a_yw <= 0 {
+                    continue;
+                }
+                a_xw * a_yw
+            } else {
+                let a_yw = self.core.idx.get(y, w) as i64;
+                if a_yw == 0 {
+                    continue;
+                }
+                raw_xw as i64 * a_yw
+            };
+            common += prod;
+            self.scratch_t.add(w, sign * prod);
+        }
+        // Neighbors of x that exist only as pending additions (never in
+        // the index): those can only be among the swap's four endpoints.
+        for &w in &o[..no] {
+            let pd = pending.delta(x, w);
+            if pd > 0 && self.core.idx.get(x, w) == 0 {
+                let a_yw = self.core.idx.get(y, w) as i64 + pending.delta(y, w) as i64;
+                if a_yw > 0 {
+                    let prod = pd as i64 * a_yw;
+                    common += prod;
+                    self.scratch_t.add(w, sign * prod);
+                }
+            }
+        }
+        self.scratch_t.add(u, sign * common);
+        self.scratch_t.add(v, sign * common);
+        if sign > 0 {
+            pending.add(u, v, 1);
+        }
+    }
+
+    /// Releases the rewired graph.
+    pub fn into_graph(self) -> Graph {
+        self.core.graph
+    }
+
+    /// Consistency check used by tests: recomputes every maintained
+    /// quantity from scratch and compares.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()
+    }
+}
+
+/// Applies one structural edge toggle to graph + index, with no triangle
+/// bookkeeping (the deltas were already evaluated).
+fn apply_structural(core: &mut EngineCore, u: NodeId, v: NodeId, sign: i64) {
+    if sign < 0 {
+        core.graph.remove_edge(u, v);
+        core.idx.remove_edge(u, v);
+    } else {
+        core.graph.add_edge(u, v);
+        core.idx.add_edge(u, v);
     }
 }
 
@@ -491,9 +738,7 @@ mod tests {
 
     #[test]
     fn rewiring_improves_toward_foreign_target() {
-        // Start from a low-clustering graph, target the clustering of a
-        // high-clustering one with identical degree structure? Instead:
-        // target 50% of own clustering — achievable by destroying
+        // Target 50% of own clustering — achievable by destroying
         // triangles.
         let g = social(4);
         let props = LocalProperties::compute(&g);
@@ -544,13 +789,18 @@ mod tests {
     fn engine_state_stays_consistent_across_many_attempts() {
         let g = social(8);
         let props = LocalProperties::compute(&g);
-        let target: Vec<f64> = props.clustering_by_degree.iter().map(|&c| c * 0.7).collect();
+        let target: Vec<f64> = props
+            .clustering_by_degree
+            .iter()
+            .map(|&c| c * 0.7)
+            .collect();
         let edges: Vec<_> = g.edges().collect();
         let mut eng = RewireEngine::new(g, edges, &target);
         let mut rng = Xoshiro256pp::seed_from_u64(9);
         for round in 0..10 {
             eng.run_attempts(500, &mut rng);
-            eng.validate().unwrap_or_else(|e| panic!("round {round}: {e}"));
+            eng.validate()
+                .unwrap_or_else(|e| panic!("round {round}: {e}"));
         }
     }
 
@@ -577,5 +827,21 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(13);
         let stats = eng.run(2.0, &mut rng);
         assert_eq!(stats.attempts, 2 * m);
+    }
+
+    #[test]
+    fn loop_dissolving_swaps_stay_consistent() {
+        // Build a graph with self-loops among the candidates: loops and
+        // multi-edges arise from stub matching in the real pipeline.
+        let mut g = social(14);
+        let a = 0 as NodeId;
+        g.add_edge(a, a);
+        g.add_edge(a, a);
+        let edges: Vec<_> = g.edges().collect();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(15);
+        eng.run_attempts(20_000, &mut rng);
+        eng.validate().unwrap();
     }
 }

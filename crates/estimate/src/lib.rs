@@ -85,10 +85,7 @@ impl Estimates {
 
     /// Maximum degree with positive `P̂(k)`.
     pub fn max_degree(&self) -> usize {
-        self.degree_dist
-            .iter()
-            .rposition(|&p| p > 0.0)
-            .unwrap_or(0)
+        self.degree_dist.iter().rposition(|&p| p > 0.0).unwrap_or(0)
     }
 }
 
@@ -355,11 +352,7 @@ pub fn estimate_num_edges(crawl: &Crawl) -> Result<f64, EstimateError> {
 pub fn estimate_global_clustering(crawl: &Crawl) -> Result<f64, EstimateError> {
     let dist = estimate_degree_distribution(crawl)?;
     let ck = estimate_clustering(crawl)?;
-    Ok(dist
-        .iter()
-        .zip(ck.iter())
-        .map(|(&p, &c)| p * c)
-        .sum())
+    Ok(dist.iter().zip(ck.iter()).map(|(&p, &c)| p * c).sum())
 }
 
 /// Computes all five estimates (§III-E) from one walk.

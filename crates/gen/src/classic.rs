@@ -16,7 +16,9 @@ pub fn path(n: usize) -> Graph {
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs n >= 3");
-    let mut edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+    let mut edges: Vec<_> = (0..n - 1)
+        .map(|i| (i as NodeId, (i + 1) as NodeId))
+        .collect();
     edges.push(((n - 1) as NodeId, 0));
     Graph::from_edges(n, &edges)
 }

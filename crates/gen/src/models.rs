@@ -307,7 +307,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, &mut rng()).unwrap();
         let expect = p * (n * (n - 1) / 2) as f64;
         let m = g.num_edges() as f64;
-        assert!((m - expect).abs() < 4.0 * expect.sqrt(), "m = {m}, expect = {expect}");
+        assert!(
+            (m - expect).abs() < 4.0 * expect.sqrt(),
+            "m = {m}, expect = {expect}"
+        );
         assert!(g.is_simple());
     }
 

@@ -167,7 +167,9 @@ mod tests {
     fn long_path_no_stack_overflow() {
         // 200k-node path: recursion-free traversal must handle it.
         let n = 200_000;
-        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId)).collect();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (i as NodeId, (i + 1) as NodeId))
+            .collect();
         let g = Graph::from_edges(n, &edges);
         assert!(is_connected(&g));
     }

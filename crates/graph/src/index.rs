@@ -1,52 +1,204 @@
-//! O(1) adjacency-multiplicity index.
+//! O(1)-amortized adjacency-multiplicity index with a hybrid per-node
+//! representation.
 //!
 //! Triangle counting, the clustering-coefficient estimator
 //! (`A_{x_{i-1}, x_{i+1}}` lookups), and the rewiring engine all need many
 //! `A_uv` queries. Scanning neighbor lists makes each query O(deg); this
-//! index trades one pass of preprocessing and O(m) memory for O(1) queries,
-//! and supports incremental updates so the rewiring engine can keep it
-//! consistent while mutating the graph.
+//! index trades one pass of preprocessing and O(m) memory for constant-time
+//! queries, and supports incremental updates so the rewiring engine can
+//! keep it consistent while mutating the graph.
+//!
+//! **Representation.** Social-graph degree distributions are heavy-tailed:
+//! almost every node has a small neighborhood, while a few hubs are huge.
+//! A hash map per node — the obvious choice — makes the *common* case pay
+//! hashing, probing, and cache-unfriendly layout on every query. Instead,
+//! each node stores its `(neighbor, multiplicity)` pairs in one of two
+//! forms:
+//!
+//! * [`NodeRep::Sorted`] — a sorted `Vec<(NodeId, u32)>`, queried by
+//!   branch-light binary search. Used while the node has at most
+//!   [`SMALL_THRESHOLD`] distinct neighbors; at those sizes the whole list
+//!   spans a few cache lines and beats hashing in both latency and memory.
+//! * [`NodeRep::Hashed`] — an `FxHashMap`, used above the threshold so hub
+//!   updates stay O(1) instead of O(deg) vector shifts.
+//!
+//! Nodes promote to `Hashed` when they outgrow the threshold and never
+//! demote (degree is invariant under rewiring, the heaviest user). The
+//! iteration order of [`MultiplicityIndex::entries`] is unspecified — it
+//! differs between the two representations — so consumers must not rely on
+//! it; every algorithm in this workspace folds entries commutatively.
 
 use crate::{Graph, NodeId};
 use sgr_util::FxHashMap;
 
-/// Per-node hash map from neighbor id to adjacency-matrix entry `A_uv`
+/// Maximum number of distinct neighbors stored in sorted-vec form. Chosen
+/// so the list fits in a handful of cache lines; beyond it, update cost
+/// (O(len) inserts) starts to rival hashing's constant factors.
+pub const SMALL_THRESHOLD: usize = 64;
+
+/// Per-node storage for `(neighbor, A_uv)` pairs. See the module docs for
+/// the size policy.
+#[derive(Clone, Debug)]
+pub enum NodeRep {
+    /// Sorted by neighbor id; binary-searched.
+    Sorted(Vec<(NodeId, u32)>),
+    /// Hash-mapped; used above [`SMALL_THRESHOLD`] distinct neighbors.
+    Hashed(FxHashMap<NodeId, u32>),
+}
+
+impl Default for NodeRep {
+    fn default() -> Self {
+        NodeRep::Sorted(Vec::new())
+    }
+}
+
+impl NodeRep {
+    #[inline]
+    fn get(&self, v: NodeId) -> u32 {
+        match self {
+            NodeRep::Sorted(list) => match list.binary_search_by_key(&v, |&(w, _)| w) {
+                Ok(i) => list[i].1,
+                Err(_) => 0,
+            },
+            NodeRep::Hashed(map) => map.get(&v).copied().unwrap_or(0),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            NodeRep::Sorted(list) => list.len(),
+            NodeRep::Hashed(map) => map.len(),
+        }
+    }
+
+    /// Adds `by` to the entry for `v`, creating it if absent. Returns the
+    /// new distinct-neighbor count so the caller can decide on promotion.
+    fn increment(&mut self, v: NodeId, by: u32) -> usize {
+        match self {
+            NodeRep::Sorted(list) => {
+                match list.binary_search_by_key(&v, |&(w, _)| w) {
+                    Ok(i) => list[i].1 += by,
+                    Err(i) => list.insert(i, (v, by)),
+                }
+                list.len()
+            }
+            NodeRep::Hashed(map) => {
+                *map.entry(v).or_insert(0) += by;
+                map.len()
+            }
+        }
+    }
+
+    /// Subtracts `by` from the entry for `v`, removing it at zero.
+    ///
+    /// # Panics
+    /// Panics if the entry is absent; debug-asserts it holds at least `by`.
+    fn decrement(&mut self, v: NodeId, by: u32) {
+        match self {
+            NodeRep::Sorted(list) => {
+                let i = list
+                    .binary_search_by_key(&v, |&(w, _)| w)
+                    .unwrap_or_else(|_| panic!("removing a non-existent edge from the index"));
+                debug_assert!(list[i].1 >= by);
+                list[i].1 -= by;
+                if list[i].1 == 0 {
+                    list.remove(i);
+                }
+            }
+            NodeRep::Hashed(map) => {
+                let entry = map
+                    .get_mut(&v)
+                    .expect("removing a non-existent edge from the index");
+                debug_assert!(*entry >= by);
+                *entry -= by;
+                if *entry == 0 {
+                    map.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// Converts a sorted list into hashed form (promotion).
+    fn promote(&mut self) {
+        if let NodeRep::Sorted(list) = self {
+            let mut map = sgr_util::hash::fx_map_with_capacity(list.len() * 2);
+            for &(v, c) in list.iter() {
+                map.insert(v, c);
+            }
+            *self = NodeRep::Hashed(map);
+        }
+    }
+}
+
+/// Hybrid per-node index from neighbor id to adjacency-matrix entry `A_uv`
 /// (multiplicity; `A_uu` = 2 × loop count).
 #[derive(Clone, Debug, Default)]
 pub struct MultiplicityIndex {
-    maps: Vec<FxHashMap<NodeId, u32>>,
+    nodes: Vec<NodeRep>,
+    /// Total structural mutations (`add_edge` + `remove_edge` calls),
+    /// maintained only in debug builds. The rewiring engine asserts this
+    /// is unchanged across rejected swap attempts.
+    #[cfg(debug_assertions)]
+    mutations: u64,
 }
 
 impl MultiplicityIndex {
-    /// Builds the index from a graph in O(n + m).
+    /// Builds the index from a graph in O(n + m log k̄); nodes above
+    /// [`SMALL_THRESHOLD`] distinct neighbors go straight to hashed form.
     pub fn build(g: &Graph) -> Self {
-        let mut maps: Vec<FxHashMap<NodeId, u32>> = (0..g.num_nodes())
-            .map(|u| sgr_util::hash::fx_map_with_capacity(g.degree(u as NodeId)))
-            .collect();
+        let mut nodes: Vec<NodeRep> = Vec::with_capacity(g.num_nodes());
+        let mut scratch: Vec<NodeId> = Vec::new();
         for u in g.nodes() {
-            for &v in g.neighbors(u) {
-                *maps[u as usize].entry(v).or_insert(0) += 1;
+            scratch.clear();
+            scratch.extend_from_slice(g.neighbors(u));
+            scratch.sort_unstable();
+            // Run-length encode the sorted neighbor list.
+            let mut list: Vec<(NodeId, u32)> = Vec::new();
+            for &v in scratch.iter() {
+                match list.last_mut() {
+                    Some(last) if last.0 == v => last.1 += 1,
+                    _ => list.push((v, 1)),
+                }
             }
+            let mut rep = NodeRep::Sorted(list);
+            if rep.len() > SMALL_THRESHOLD {
+                rep.promote();
+            }
+            nodes.push(rep);
         }
-        Self { maps }
+        Self {
+            nodes,
+            #[cfg(debug_assertions)]
+            mutations: 0,
+        }
     }
 
     /// Creates an empty index over `n` nodes (all entries zero).
     pub fn with_nodes(n: usize) -> Self {
         Self {
-            maps: vec![FxHashMap::default(); n],
+            nodes: (0..n).map(|_| NodeRep::default()).collect(),
+            #[cfg(debug_assertions)]
+            mutations: 0,
         }
     }
 
     /// Number of nodes covered.
     pub fn num_nodes(&self) -> usize {
-        self.maps.len()
+        self.nodes.len()
+    }
+
+    /// Number of distinct neighbors of `u` (counting `u` itself if it has
+    /// a loop).
+    #[inline]
+    pub fn num_distinct(&self, u: NodeId) -> usize {
+        self.nodes[u as usize].len()
     }
 
     /// `A_uv` (0 when absent).
     #[inline]
     pub fn get(&self, u: NodeId, v: NodeId) -> u32 {
-        self.maps[u as usize].get(&v).copied().unwrap_or(0)
+        self.nodes[u as usize].get(v)
     }
 
     /// Whether any edge `{u, v}` exists.
@@ -56,49 +208,77 @@ impl MultiplicityIndex {
     }
 
     /// Iterates `(neighbor, A_uv)` pairs of `u` (each neighbor once).
-    pub fn entries(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
-        self.maps[u as usize].iter().map(|(&v, &c)| (v, c))
+    /// Iteration order is unspecified and differs between representations.
+    pub fn entries(&self, u: NodeId) -> Entries<'_> {
+        match &self.nodes[u as usize] {
+            NodeRep::Sorted(list) => Entries::Sorted(list.iter()),
+            NodeRep::Hashed(map) => Entries::Hashed(map.iter()),
+        }
+    }
+
+    /// Structural mutation count (debug builds only; always 0 in release).
+    /// Used by the rewiring engine to assert rejected attempts touch
+    /// nothing.
+    #[inline]
+    pub fn mutation_count(&self) -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            self.mutations
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+
+    #[inline]
+    fn note_mutation(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.mutations += 1;
+        }
     }
 
     /// Registers the addition of edge `{u, v}` (loop adds 2 to `A_uu`).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.note_mutation();
         if u == v {
-            *self.maps[u as usize].entry(u).or_insert(0) += 2;
+            self.bump(u, u, 2);
         } else {
-            *self.maps[u as usize].entry(v).or_insert(0) += 1;
-            *self.maps[v as usize].entry(u).or_insert(0) += 1;
+            self.bump(u, v, 1);
+            self.bump(v, u, 1);
+        }
+    }
+
+    #[inline]
+    fn bump(&mut self, u: NodeId, v: NodeId, by: u32) {
+        let rep = &mut self.nodes[u as usize];
+        let len = rep.increment(v, by);
+        if len > SMALL_THRESHOLD {
+            rep.promote();
         }
     }
 
     /// Registers the removal of one copy of edge `{u, v}`.
     ///
     /// # Panics
-    /// Panics (in debug) if the edge is not present.
+    /// Panics if the edge is not present.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
-        let dec = |maps: &mut Vec<FxHashMap<NodeId, u32>>, a: NodeId, b: NodeId, by: u32| {
-            let entry = maps[a as usize]
-                .get_mut(&b)
-                .expect("removing a non-existent edge from the index");
-            debug_assert!(*entry >= by);
-            *entry -= by;
-            if *entry == 0 {
-                maps[a as usize].remove(&b);
-            }
-        };
+        self.note_mutation();
         if u == v {
-            dec(&mut self.maps, u, u, 2);
+            self.nodes[u as usize].decrement(u, 2);
         } else {
-            dec(&mut self.maps, u, v, 1);
-            dec(&mut self.maps, v, u, 1);
+            self.nodes[u as usize].decrement(v, 1);
+            self.nodes[v as usize].decrement(u, 1);
         }
     }
 
     /// Consistency check against a graph; returns the first mismatch.
     pub fn validate_against(&self, g: &Graph) -> Result<(), String> {
-        if self.maps.len() != g.num_nodes() {
+        if self.nodes.len() != g.num_nodes() {
             return Err(format!(
                 "index covers {} nodes, graph has {}",
-                self.maps.len(),
+                self.nodes.len(),
                 g.num_nodes()
             ));
         }
@@ -107,7 +287,7 @@ impl MultiplicityIndex {
             for &v in g.neighbors(u) {
                 *counts.entry(v).or_insert(0) += 1;
             }
-            if counts.len() != self.maps[u as usize].len() {
+            if counts.len() != self.num_distinct(u) {
                 return Err(format!("node {u}: neighbor-set size mismatch"));
             }
             for (&v, &c) in counts.iter() {
@@ -118,10 +298,46 @@ impl MultiplicityIndex {
                     ));
                 }
             }
+            if let NodeRep::Sorted(list) = &self.nodes[u as usize] {
+                if !list.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(format!("node {u}: sorted list out of order"));
+                }
+            }
         }
         Ok(())
     }
 }
+
+/// Iterator over one node's `(neighbor, A_uv)` pairs; see
+/// [`MultiplicityIndex::entries`].
+pub enum Entries<'a> {
+    /// Over a sorted small-vec node.
+    Sorted(std::slice::Iter<'a, (NodeId, u32)>),
+    /// Over a hashed hub node.
+    Hashed(std::collections::hash_map::Iter<'a, NodeId, u32>),
+}
+
+impl Iterator for Entries<'_> {
+    type Item = (NodeId, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, u32)> {
+        match self {
+            Entries::Sorted(it) => it.next().copied(),
+            Entries::Hashed(it) => it.next().map(|(&v, &c)| (v, c)),
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Entries::Sorted(it) => it.size_hint(),
+            Entries::Hashed(it) => it.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for Entries<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -183,5 +399,55 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1)]);
         let idx = MultiplicityIndex::with_nodes(2);
         assert!(idx.validate_against(&g).is_err());
+    }
+
+    #[test]
+    fn hub_nodes_promote_to_hashed_and_stay_consistent() {
+        // A star whose hub exceeds SMALL_THRESHOLD distinct neighbors.
+        let n = SMALL_THRESHOLD + 20;
+        let edges: Vec<(NodeId, NodeId)> = (1..=n as NodeId).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(n + 1, &edges);
+        let idx = MultiplicityIndex::build(&g);
+        assert!(matches!(idx.nodes[0], NodeRep::Hashed(_)));
+        assert!(matches!(idx.nodes[1], NodeRep::Sorted(_)));
+        idx.validate_against(&g).unwrap();
+        assert_eq!(idx.num_distinct(0), n);
+        assert_eq!(idx.entries(0).count(), n);
+        for v in 1..=n as NodeId {
+            assert_eq!(idx.get(0, v), 1);
+            assert_eq!(idx.get(v, 0), 1);
+        }
+    }
+
+    #[test]
+    fn incremental_growth_promotes_at_threshold() {
+        let n = SMALL_THRESHOLD + 5;
+        let mut g = Graph::with_nodes(n + 1);
+        let mut idx = MultiplicityIndex::with_nodes(n + 1);
+        for v in 1..=n as NodeId {
+            g.add_edge(0, v);
+            idx.add_edge(0, v);
+            idx.validate_against(&g).unwrap();
+        }
+        assert!(matches!(idx.nodes[0], NodeRep::Hashed(_)));
+        // Removals keep hashed form consistent (no demotion).
+        for v in 1..=n as NodeId {
+            g.remove_edge(0, v);
+            idx.remove_edge(0, v);
+        }
+        idx.validate_against(&g).unwrap();
+        assert_eq!(idx.num_distinct(0), 0);
+    }
+
+    #[test]
+    fn mutation_counter_tracks_updates_in_debug() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut idx = MultiplicityIndex::build(&g);
+        let before = idx.mutation_count();
+        idx.add_edge(0, 2);
+        idx.remove_edge(0, 2);
+        if cfg!(debug_assertions) {
+            assert_eq!(idx.mutation_count(), before + 2);
+        }
     }
 }

@@ -21,12 +21,7 @@ pub fn betweenness(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
     // over node sequences, so parallel edges do not create new paths.
     let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(n);
     for u in g.nodes() {
-        let mut ns: Vec<NodeId> = g
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&v| v != u)
-            .collect();
+        let mut ns: Vec<NodeId> = g.neighbors(u).iter().copied().filter(|&v| v != u).collect();
         ns.sort_unstable();
         ns.dedup();
         adj.push(ns);
@@ -52,14 +47,16 @@ pub fn betweenness(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
     } else {
         let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
         let adj_ref = &adj;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| scope.spawn(move |_| accumulate(adj_ref, chunk)))
+                .map(|chunk| scope.spawn(move || accumulate(adj_ref, chunk)))
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("betweenness worker panicked"))
+                .collect()
         })
-        .expect("betweenness worker panicked")
     };
     let mut b = vec![0.0f64; n];
     for part in partials {
@@ -213,13 +210,8 @@ mod tests {
 
     #[test]
     fn sampled_close_to_exact() {
-        let g = sgr_gen::holme_kim(
-            1500,
-            3,
-            0.4,
-            &mut sgr_util::Xoshiro256pp::seed_from_u64(2),
-        )
-        .unwrap();
+        let g = sgr_gen::holme_kim(1500, 3, 0.4, &mut sgr_util::Xoshiro256pp::seed_from_u64(2))
+            .unwrap();
         let exact = betweenness_by_degree(&g, &cfg());
         let sampled = betweenness_by_degree(
             &g,

@@ -255,6 +255,9 @@ mod tests {
         let crawl = sgr_sample::random_walk(&mut am, seed, 60, &mut rng);
         let sub = crawl.subgraph();
         let d_sub = dissimilarity(&g, &sub.graph, &cfg());
-        assert!(d_sub > 0.02, "subgraph dissimilarity suspiciously low: {d_sub}");
+        assert!(
+            d_sub > 0.02,
+            "subgraph dissimilarity suspiciously low: {d_sub}"
+        );
     }
 }

@@ -23,7 +23,7 @@
 //! The paper computes shortest-path properties with parallel exact
 //! algorithms on a 40-core server; here [`PropsConfig`] selects exact
 //! computation up to a size threshold and unbiased pivot sampling above it
-//! (crossbeam-parallelized either way), which preserves method rankings —
+//! (parallelized with std scoped threads either way), which preserves method rankings —
 //! the quantity the reproduction targets.
 
 pub mod betweenness;
@@ -39,17 +39,7 @@ use sgr_graph::Graph;
 
 /// Names of the 12 properties in the paper's table order.
 pub const PROPERTY_NAMES: [&str; 12] = [
-    "n",
-    "k_avg",
-    "P(k)",
-    "knn(k)",
-    "c_avg",
-    "c(k)",
-    "P(s)",
-    "l_avg",
-    "P(l)",
-    "l_max",
-    "b(k)",
+    "n", "k_avg", "P(k)", "knn(k)", "c_avg", "c(k)", "P(s)", "l_avg", "P(l)", "l_max", "b(k)",
     "lambda1",
 ];
 

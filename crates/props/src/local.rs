@@ -92,10 +92,7 @@ impl LocalProperties {
         let shared_partner_dist: Vec<f64> = if m_eff == 0 {
             vec![0.0]
         } else {
-            sp_counts
-                .iter()
-                .map(|&c| c as f64 / m_eff as f64)
-                .collect()
+            sp_counts.iter().map(|&c| c as f64 / m_eff as f64).collect()
         };
 
         Self {
@@ -150,9 +147,10 @@ pub fn shared_partners(idx: &MultiplicityIndex, u: NodeId, v: NodeId) -> usize {
             .map(|(w, a_xw)| a_xw as usize * idx.get(y, w) as usize)
             .sum()
     };
-    // Pick the endpoint with fewer distinct neighbors to iterate.
-    let deg_a = idx.entries(a).count();
-    let deg_b = idx.entries(b).count();
+    // Pick the endpoint with fewer distinct neighbors to iterate (O(1)
+    // via the index's per-node size, not a full entries() walk).
+    let deg_a = idx.num_distinct(a);
+    let deg_b = idx.num_distinct(b);
     if deg_a <= deg_b {
         count_from(a, b)
     } else {

@@ -5,7 +5,7 @@
 //! `num_pivots` uniformly chosen sources, an unbiased estimator of `l̄`
 //! and `{P(l)}` (each pivot sees the exact distance profile from itself),
 //! plus double-sweep refinement for the diameter. Both modes parallelize
-//! over sources with crossbeam scoped threads — the role the paper's
+//! over sources with std scoped threads — the role the paper's
 //! parallel algorithms (its Ref. 62) play.
 
 use crate::PropsConfig;
@@ -29,12 +29,7 @@ pub struct ShortestPathProperties {
 fn simple_adjacency(g: &Graph) -> Vec<Vec<NodeId>> {
     let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(g.num_nodes());
     for u in g.nodes() {
-        let mut ns: Vec<NodeId> = g
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&v| v != u)
-            .collect();
+        let mut ns: Vec<NodeId> = g.neighbors(u).iter().copied().filter(|&v| v != u).collect();
         ns.sort_unstable();
         ns.dedup();
         adj.push(ns);
@@ -45,7 +40,12 @@ fn simple_adjacency(g: &Graph) -> Vec<Vec<NodeId>> {
 /// Single-source BFS; returns the distance histogram (`hist[l]` = number
 /// of nodes at distance `l > 0`) and the eccentricity with its farthest
 /// node.
-fn bfs_histogram(adj: &[Vec<NodeId>], source: NodeId, dist: &mut [u32], queue: &mut Vec<NodeId>) -> (Vec<u64>, NodeId) {
+fn bfs_histogram(
+    adj: &[Vec<NodeId>],
+    source: NodeId,
+    dist: &mut [u32],
+    queue: &mut Vec<NodeId>,
+) -> (Vec<u64>, NodeId) {
     const INF: u32 = u32::MAX;
     for d in dist.iter_mut() {
         *d = INF;
@@ -135,7 +135,13 @@ pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathPro
     };
     let length_dist: Vec<f64> = hist
         .iter()
-        .map(|&c| if total > 0 { c as f64 / total as f64 } else { 0.0 })
+        .map(|&c| {
+            if total > 0 {
+                c as f64 / total as f64
+            } else {
+                0.0
+            }
+        })
         .collect();
     ShortestPathProperties {
         average_length,
@@ -173,11 +179,11 @@ fn parallel_histogram(
         return (merged, far);
     }
     let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
-    let results: Vec<(Vec<u64>, NodeId)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Vec<u64>, NodeId)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut dist = vec![0u32; n];
                     let mut queue = Vec::with_capacity(n);
                     let mut merged: Vec<u64> = Vec::new();
@@ -196,9 +202,11 @@ fn parallel_histogram(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("BFS worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("BFS worker panicked"))
+            .collect()
+    });
     let mut merged: Vec<u64> = Vec::new();
     let mut far = sources.first().copied().unwrap_or(0);
     let mut best = 0usize;
@@ -273,13 +281,8 @@ mod tests {
 
     #[test]
     fn sampled_mode_close_to_exact() {
-        let g = sgr_gen::holme_kim(
-            2000,
-            3,
-            0.4,
-            &mut sgr_util::Xoshiro256pp::seed_from_u64(1),
-        )
-        .unwrap();
+        let g = sgr_gen::holme_kim(2000, 3, 0.4, &mut sgr_util::Xoshiro256pp::seed_from_u64(1))
+            .unwrap();
         let exact = shortest_path_properties(&g, &cfg());
         let sampled_cfg = PropsConfig {
             exact_threshold: 10, // force sampling

@@ -33,10 +33,10 @@ impl Subgraph {
         let mut orig_id: Vec<NodeId> = Vec::new();
         let mut queried_flags: Vec<bool> = Vec::new();
         let intern = |orig: NodeId,
-                          is_query: bool,
-                          dense: &mut FxHashMap<NodeId, u32>,
-                          orig_id: &mut Vec<NodeId>,
-                          queried_flags: &mut Vec<bool>| {
+                      is_query: bool,
+                      dense: &mut FxHashMap<NodeId, u32>,
+                      orig_id: &mut Vec<NodeId>,
+                      queried_flags: &mut Vec<bool>| {
             match dense.get(&orig) {
                 Some(&d) => {
                     if is_query {

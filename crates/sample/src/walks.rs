@@ -44,11 +44,7 @@ pub fn random_walk(
 /// Convenience wrapper used by the experiment harness: walk a hidden graph
 /// from a uniformly random seed until `fraction` of its nodes have been
 /// queried (the paper's stopping rule, §V-D).
-pub fn random_walk_until_fraction(
-    g: &Graph,
-    fraction: f64,
-    rng: &mut Xoshiro256pp,
-) -> Crawl {
+pub fn random_walk_until_fraction(g: &Graph, fraction: f64, rng: &mut Xoshiro256pp) -> Crawl {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1]"
@@ -196,7 +192,10 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let crawl = random_walk_until_fraction(&g, 0.1, &mut rng);
         assert_eq!(crawl.num_queried(), 40);
-        assert!(crawl.len() >= 40, "revisits make the sequence at least as long");
+        assert!(
+            crawl.len() >= 40,
+            "revisits make the sequence at least as long"
+        );
     }
 
     #[test]

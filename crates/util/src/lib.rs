@@ -15,10 +15,14 @@
 //! * [`stats`] — online mean/variance accumulators and slice statistics used
 //!   by the experiment harness (the paper reports avg ± SD over runs).
 //! * [`sampling`] — reservoir sampling and shuffles used by the crawlers.
+//! * [`scratch`] — epoch-stamped dense scratch arenas that let hot loops
+//!   (notably the rewiring engine's swap evaluation) accumulate per-key
+//!   deltas with zero steady-state heap allocations and O(1) clears.
 
 pub mod hash;
 pub mod rng;
 pub mod sampling;
+pub mod scratch;
 pub mod stats;
 
 pub use hash::{FxHashMap, FxHashSet};

@@ -211,7 +211,10 @@ mod tests {
         }
         for &c in &counts {
             // Each bucket expects 10_000; allow generous 10% slack.
-            assert!((9_000..=11_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_000..=11_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

@@ -74,7 +74,10 @@ pub fn fruchterman_reingold(g: &Graph, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
                 for dx in -1i64..=1 {
                     let nx = cx as i64 + dx;
                     let ny = cy as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= cells_per_side as i64 || ny >= cells_per_side as i64
+                    if nx < 0
+                        || ny < 0
+                        || nx >= cells_per_side as i64
+                        || ny >= cells_per_side as i64
                     {
                         continue;
                     }
@@ -166,7 +169,13 @@ mod tests {
     fn edges_contract_relative_to_random_placement() {
         let g = sgr_gen::holme_kim(300, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(2)).unwrap();
         let cfg = LayoutConfig::default();
-        let random = fruchterman_reingold(&g, &LayoutConfig { iterations: 0, ..cfg });
+        let random = fruchterman_reingold(
+            &g,
+            &LayoutConfig {
+                iterations: 0,
+                ..cfg
+            },
+        );
         let laid = fruchterman_reingold(&g, &cfg);
         let before = mean_edge_length(&g, &random);
         let after = mean_edge_length(&g, &laid);
@@ -178,12 +187,11 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert!(fruchterman_reingold(&sgr_graph::Graph::with_nodes(0), &LayoutConfig::default())
-            .is_empty());
-        let one = fruchterman_reingold(
-            &sgr_graph::Graph::with_nodes(1),
-            &LayoutConfig::default(),
+        assert!(
+            fruchterman_reingold(&sgr_graph::Graph::with_nodes(0), &LayoutConfig::default())
+                .is_empty()
         );
+        let one = fruchterman_reingold(&sgr_graph::Graph::with_nodes(1), &LayoutConfig::default());
         assert_eq!(one.len(), 1);
         // Self-loops must not crash the attraction pass.
         let mut g = sgr_graph::Graph::with_nodes(2);

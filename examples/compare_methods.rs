@@ -9,9 +9,7 @@
 use social_graph_restoration::core::{gjoka, restore, RestoreConfig};
 use social_graph_restoration::gen::Dataset;
 use social_graph_restoration::props::{PropsConfig, StructuralProperties};
-use social_graph_restoration::sample::{
-    bfs, forest_fire, random_walk, snowball, AccessModel,
-};
+use social_graph_restoration::sample::{bfs, forest_fire, random_walk, snowball, AccessModel};
 use social_graph_restoration::util::stats::mean;
 use social_graph_restoration::util::Xoshiro256pp;
 

@@ -27,7 +27,10 @@ fn main() {
         .sum::<f64>();
 
     println!("hidden graph: n = {truth_n}, k̄ = {truth_k:.3}");
-    println!("{:<10} {:>10} {:>10} {:>14} {:>12}", "% queried", "n̂", "k̄̂", "Σ_k P̂(k) c̄(k)", "|P̂−P|₁");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>12}",
+        "% queried", "n̂", "k̄̂", "Σ_k P̂(k) c̄(k)", "|P̂−P|₁"
+    );
     for pct in [1.0, 2.0, 5.0, 10.0, 20.0] {
         let crawl = random_walk_until_fraction(&hidden, pct / 100.0, &mut rng);
         let est = estimate_all(&crawl).expect("walk long enough");

@@ -1,0 +1,221 @@
+//! Offline, API-compatible subset of the `criterion` benchmark crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of criterion's interface its benches use: [`Criterion`] with
+//! `bench_function` / `sample_size`, [`Bencher::iter`] and
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: per benchmark it runs a short
+//! warm-up, then `sample_size` timed samples (each auto-scaled to a minimum
+//! wall time), and prints min / median / mean / max nanoseconds per
+//! iteration. That is enough to compare two implementations in the same
+//! process run, which is all this workspace's throughput gates need.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls. Only used to pick
+/// the per-sample batch size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the routine that ran.
+    samples: Vec<f64>,
+    sample_size: usize,
+    min_sample_time: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+            min_sample_time: Duration::from_millis(10),
+        }
+    }
+
+    /// Times `routine` repeatedly; the routine's return value is passed
+    /// through [`std::hint::black_box`] so it is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration-count calibration.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.min_sample_time || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample = (iters_per_sample * 2).max(1);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            let ns = t.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            self.samples.push(ns);
+        }
+    }
+}
+
+/// Benchmark driver; a stand-in for criterion's struct of the same name.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        let mut s = b.samples;
+        if s.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        s.sort_by(|a, b| a.total_cmp(b));
+        let min = s[0];
+        let max = s[s.len() - 1];
+        let median = s[s.len() / 2];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        println!(
+            "{name:<40} min {} · median {} · mean {} · max {}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(max)
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Groups benchmark functions; both upstream forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 64]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("smoke", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        smoke();
+    }
+}
