@@ -1,0 +1,95 @@
+//! `small_threshold_sweep`: measures the `MultiplicityIndex`
+//! sorted-vec/hash cutoff across degree profiles, backing the
+//! `SMALL_THRESHOLD` constant in `sgr_graph::index` with numbers instead
+//! of reasoning (ROADMAP open item).
+//!
+//! Three degree profiles bracket the regimes the cutoff separates:
+//! * `er` — Erdős–Rényi, k̄ ≈ 8: every node far below any candidate
+//!   cutoff (the common social-graph case);
+//! * `hk` — Holme–Kim heavy tail, m = 8: hubs far above the cutoff mixed
+//!   with a low-degree bulk;
+//! * `ws` — Watts–Strogatz ring, k = 100 (≈ 200 distinct neighbors per
+//!   node): the whole graph sits on one side of every candidate cutoff,
+//!   exposing each representation's pathology undiluted.
+//!
+//! Three workloads per (profile, threshold):
+//! * `lookup` — random `A_uv` queries along existing edges (the
+//!   clustering-estimator read mix; edge-sampling biases toward hubs,
+//!   like the real kernels);
+//! * `iterate` — full `entries(u)` folds at edge-sampled endpoints (the
+//!   triangle / shared-partner mix, where sorted vecs stream
+//!   contiguously and hash maps jump buckets);
+//! * `churn` — add/remove an edge per op at random endpoints (the
+//!   rewiring engine's update mix).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sgr_graph::index::MultiplicityIndex;
+use sgr_graph::{Graph, NodeId};
+use sgr_util::Xoshiro256pp;
+
+const THRESHOLDS: [usize; 5] = [16, 32, 64, 128, 256];
+
+fn profiles() -> Vec<(&'static str, Graph)> {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7472e5);
+    vec![
+        (
+            "er",
+            sgr_gen::erdos_renyi_gnm(2_000, 8_000, &mut rng).unwrap(),
+        ),
+        ("hk", sgr_gen::holme_kim(2_000, 8, 0.5, &mut rng).unwrap()),
+        (
+            "ws",
+            sgr_gen::watts_strogatz(2_000, 100, 0.1, &mut rng).unwrap(),
+        ),
+    ]
+}
+
+fn bench_threshold_sweep(c: &mut Criterion) {
+    for (name, g) in profiles() {
+        let edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+        for &t in &THRESHOLDS {
+            // Lookup mix: A_uv along existing edges plus misses.
+            let idx = MultiplicityIndex::build_with_threshold(&g, t);
+            let mut rng = Xoshiro256pp::seed_from_u64(1);
+            c.bench_function(&format!("small_threshold/{name}/t{t}/lookup"), |b| {
+                b.iter(|| {
+                    let (u, v) = edges[rng.gen_range(edges.len())];
+                    let w = rng.gen_range(g.num_nodes()) as NodeId;
+                    black_box(idx.get(u, v) + idx.get(u, w))
+                })
+            });
+            // Iteration mix: fold one endpoint's full entry list.
+            let idx = MultiplicityIndex::build_with_threshold(&g, t);
+            let mut rng = Xoshiro256pp::seed_from_u64(3);
+            c.bench_function(&format!("small_threshold/{name}/t{t}/iterate"), |b| {
+                b.iter(|| {
+                    let (u, _) = edges[rng.gen_range(edges.len())];
+                    black_box(
+                        idx.entries(u)
+                            .map(|(v, c)| v as u64 + c as u64)
+                            .sum::<u64>(),
+                    )
+                })
+            });
+            // Churn mix: remove an existing edge, add it back (keeps the
+            // index at a steady state across samples).
+            let mut idx = MultiplicityIndex::build_with_threshold(&g, t);
+            let mut rng = Xoshiro256pp::seed_from_u64(2);
+            c.bench_function(&format!("small_threshold/{name}/t{t}/churn"), |b| {
+                b.iter(|| {
+                    let (u, v) = edges[rng.gen_range(edges.len())];
+                    idx.remove_edge(u, v);
+                    idx.add_edge(u, v);
+                    black_box(idx.get(u, v))
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_threshold_sweep
+}
+criterion_main!(benches);

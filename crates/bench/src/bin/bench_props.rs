@@ -1,0 +1,200 @@
+//! Property-kernel throughput: the same read-only kernels on the mutable
+//! adjacency-list `Graph` and on CSR snapshots, writing `BENCH_props.json`
+//! so the CSR layer has a perf trajectory to defend (next to
+//! `BENCH_rewire.json` for the rewiring engine).
+//!
+//! Kernels (single-threaded so the numbers measure the memory layout, not
+//! the scheduler):
+//! * `bfs_sweep` — pivot-sampled shortest-path properties (pure BFS);
+//! * `betweenness` — pivot-sampled Brandes (BFS + dependency pass);
+//! * `triangles` — multiplicity-index triangle counting (index-bound, so
+//!   the backends are expected to tie; reported for completeness).
+//!
+//! Backends: `graph` (adjacency lists), `csr` (order-preserving freeze —
+//! results asserted **bitwise identical** to `graph`), `csr_sorted`
+//! (per-node sorted arena; same distances/counts, float order may differ).
+//!
+//! Usage: `bench_props [nodes] [reps] [out.json]`
+//! (defaults: 1_000_000 nodes — the paper's YouTube scale, where the
+//! layout difference is at its most production-relevant — 3 reps with
+//! best-of reported, `BENCH_props.json`).
+
+use sgr_graph::{CsrGraph, Graph};
+use sgr_props::{betweenness, paths, triangles, PropsConfig};
+use sgr_util::Xoshiro256pp;
+use std::time::Instant;
+
+const GRAPH_SEED: u64 = 22;
+
+fn props_cfg(pivots: usize) -> PropsConfig {
+    PropsConfig {
+        exact_threshold: 0, // always pivot-sample at bench sizes
+        num_pivots: pivots,
+        threads: 1,
+        seed: 0x5eed,
+    }
+}
+
+/// Best-of-`reps` wall time of `f`.
+fn time<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+struct Kernel {
+    name: &'static str,
+    /// Seconds per backend, in [`BACKENDS`] order.
+    secs: Vec<f64>,
+}
+
+const BACKENDS: [&str; 3] = ["graph", "csr", "csr_sorted"];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("nodes must be an integer"))
+        .unwrap_or(1_000_000);
+    let reps: usize = args
+        .next()
+        .map(|a| a.parse().expect("reps must be an integer"))
+        .unwrap_or(3);
+    let out = args.next().unwrap_or_else(|| "BENCH_props.json".into());
+
+    // Fixed workload: a clustered, heavy-tailed social-ish graph at the
+    // low average degree of the paper's datasets (m = 2 → k̄ ≈ 4; Anybeat
+    // is 4.9, YouTube 5.3). The edge list is shuffled before insertion to
+    // reproduce the adjacency layout the pipeline actually hands to
+    // property computation: stub matching (Algorithm 5) adds edges in
+    // random order, interleaving every node's `Vec` growth — holme_kim's
+    // per-node insertion order would give the adjacency-list backend an
+    // unrealistically compact heap.
+    let g: Graph = {
+        let mut rng = Xoshiro256pp::seed_from_u64(GRAPH_SEED);
+        let built = sgr_gen::holme_kim(n, 2, 0.5, &mut rng).unwrap();
+        let mut edges: Vec<_> = built.edges().collect();
+        sgr_util::sampling::shuffle(&mut edges, &mut rng);
+        Graph::from_edges(built.num_nodes(), &edges)
+    };
+    let csr = CsrGraph::freeze(&g);
+    let sorted = CsrGraph::freeze_sorted(&g);
+    eprintln!(
+        "bench_props: n={} m={} reps={} (graph seed {GRAPH_SEED})",
+        g.num_nodes(),
+        g.num_edges(),
+        reps
+    );
+
+    let mut kernels: Vec<Kernel> = Vec::new();
+
+    // --- BFS sweep (shortest-path properties, 128 pivots).
+    {
+        let cfg = props_cfg(128);
+        let (tg, rg) = time(reps, || paths::shortest_path_properties(&g, &cfg));
+        let (tc, rc) = time(reps, || paths::shortest_path_properties(&csr, &cfg));
+        let (ts, rs) = time(reps, || paths::shortest_path_properties(&sorted, &cfg));
+        assert_eq!(
+            rg.length_dist, rc.length_dist,
+            "bfs_sweep diverged between graph and csr"
+        );
+        assert_eq!(rg.diameter, rc.diameter);
+        // The sorted arena visits nodes in a different order, so the
+        // double-sweep diameter *lower bound* may land on a different
+        // (equally valid) value; allow ±1.
+        assert!(
+            (rg.diameter as i64 - rs.diameter as i64).abs() <= 1,
+            "sorted arena diameter bound drifted: {} vs {}",
+            rg.diameter,
+            rs.diameter
+        );
+        kernels.push(Kernel {
+            name: "bfs_sweep",
+            secs: vec![tg, tc, ts],
+        });
+    }
+
+    // --- Betweenness (Brandes, 16 pivots — the heavy constant).
+    {
+        let cfg = props_cfg(16);
+        let (tg, rg) = time(reps, || betweenness::betweenness_by_degree(&g, &cfg));
+        let (tc, rc) = time(reps, || betweenness::betweenness_by_degree(&csr, &cfg));
+        let (ts, _) = time(reps, || betweenness::betweenness_by_degree(&sorted, &cfg));
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&rg),
+            bits(&rc),
+            "betweenness diverged between graph and csr"
+        );
+        kernels.push(Kernel {
+            name: "betweenness",
+            secs: vec![tg, tc, ts],
+        });
+    }
+
+    // --- Triangle counts (index-bound; included as the control).
+    {
+        let (tg, rg) = time(reps, || triangles::triangle_counts(&g));
+        let (tc, rc) = time(reps, || triangles::triangle_counts(&csr));
+        let (ts, rs) = time(reps, || triangles::triangle_counts(&sorted));
+        assert_eq!(rg, rc, "triangles diverged between graph and csr");
+        assert_eq!(rg, rs, "triangles diverged on the sorted arena");
+        kernels.push(Kernel {
+            name: "triangles",
+            secs: vec![tg, tc, ts],
+        });
+    }
+
+    let mut entries: Vec<String> = Vec::new();
+    for k in &kernels {
+        let base = k.secs[0];
+        let speedups: Vec<f64> = k.secs.iter().map(|&s| base / s).collect();
+        let best_csr = speedups[1].max(speedups[2]);
+        eprintln!("  {:>12}:", k.name);
+        for (i, b) in BACKENDS.iter().enumerate() {
+            eprintln!(
+                "    {:>10}: {:>8.3}s  ({:.2}x vs graph)",
+                b, k.secs[i], speedups[i]
+            );
+        }
+        entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"graph_seconds\": {:.6},\n",
+                "      \"csr_seconds\": {:.6},\n",
+                "      \"csr_sorted_seconds\": {:.6},\n",
+                "      \"csr_speedup\": {:.3},\n",
+                "      \"csr_sorted_speedup\": {:.3},\n",
+                "      \"best_csr_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            k.name, k.secs[0], k.secs[1], k.secs[2], speedups[1], speedups[2], best_csr,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"props_kernels_graph_vs_csr\",\n",
+            "  \"graph\": {{\"generator\": \"holme_kim\", \"nodes\": {}, \"edges\": {}, ",
+            "\"seed\": {}}},\n",
+            "  \"reps\": {},\n",
+            "  \"backends\": [\"graph\", \"csr\", \"csr_sorted\"],\n",
+            "  \"kernels\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        g.num_nodes(),
+        g.num_edges(),
+        GRAPH_SEED,
+        reps,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("writing benchmark JSON");
+    eprintln!("  wrote {out}");
+}

@@ -56,11 +56,28 @@ pub struct MethodOutput {
     pub method: Method,
     /// The generated graph (for subgraph sampling, the subgraph itself).
     pub graph: Graph,
+    /// An order-preserving CSR snapshot of `graph`, frozen exactly once
+    /// (reused from the restoration pipelines, which freeze after their
+    /// last mutation) — this is what property computation consumes.
+    pub snapshot: sgr_graph::CsrGraph,
     /// Total generation time in seconds (crawling excluded, as in the
     /// paper's Table IV, which times *generation*).
     pub total_secs: f64,
     /// Rewiring time in seconds (0 for subgraph sampling).
     pub rewire_secs: f64,
+}
+
+impl MethodOutput {
+    fn new(method: Method, graph: Graph, total_secs: f64, rewire_secs: f64) -> Self {
+        let snapshot = graph.freeze();
+        Self {
+            method,
+            graph,
+            snapshot,
+            total_secs,
+            rewire_secs,
+        }
+    }
 }
 
 /// The L1 distances of one method in one run.
@@ -107,12 +124,12 @@ pub fn run_all_methods(
         bfs(&mut am, seed_node, target)
     };
     let sg = crawl.subgraph();
-    out.push(MethodOutput {
-        method: Method::Bfs,
-        graph: sg.graph,
-        total_secs: t.elapsed().as_secs_f64(),
-        rewire_secs: 0.0,
-    });
+    out.push(MethodOutput::new(
+        Method::Bfs,
+        sg.graph,
+        t.elapsed().as_secs_f64(),
+        0.0,
+    ));
 
     // --- Snowball subgraph sampling (k = 50).
     let t = std::time::Instant::now();
@@ -121,12 +138,12 @@ pub fn run_all_methods(
         snowball(&mut am, seed_node, 50, target, rng)
     };
     let sg = crawl.subgraph();
-    out.push(MethodOutput {
-        method: Method::Snowball,
-        graph: sg.graph,
-        total_secs: t.elapsed().as_secs_f64(),
-        rewire_secs: 0.0,
-    });
+    out.push(MethodOutput::new(
+        Method::Snowball,
+        sg.graph,
+        t.elapsed().as_secs_f64(),
+        0.0,
+    ));
 
     // --- Forest fire subgraph sampling (p_f = 0.7).
     let t = std::time::Instant::now();
@@ -135,12 +152,12 @@ pub fn run_all_methods(
         forest_fire(&mut am, seed_node, 0.7, target, rng)
     };
     let sg = crawl.subgraph();
-    out.push(MethodOutput {
-        method: Method::ForestFire,
-        graph: sg.graph,
-        total_secs: t.elapsed().as_secs_f64(),
-        rewire_secs: 0.0,
-    });
+    out.push(MethodOutput::new(
+        Method::ForestFire,
+        sg.graph,
+        t.elapsed().as_secs_f64(),
+        0.0,
+    ));
 
     // --- One random walk shared by RW / Gjoka / Proposed (§V-D: "we
     // perform these methods for the same RW to achieve a fair
@@ -151,17 +168,18 @@ pub fn run_all_methods(
     };
     let t = std::time::Instant::now();
     let sg = rw_crawl.subgraph();
-    out.push(MethodOutput {
-        method: Method::Rw,
-        graph: sg.graph,
-        total_secs: t.elapsed().as_secs_f64(),
-        rewire_secs: 0.0,
-    });
+    out.push(MethodOutput::new(
+        Method::Rw,
+        sg.graph,
+        t.elapsed().as_secs_f64(),
+        0.0,
+    ));
 
     let gj = gjoka::generate(&rw_crawl, rc, rng).expect("gjoka generation failed");
     out.push(MethodOutput {
         method: Method::Gjoka,
         graph: gj.graph,
+        snapshot: gj.snapshot,
         total_secs: gj.stats.total_secs(),
         rewire_secs: gj.stats.rewire_secs,
     });
@@ -174,6 +192,7 @@ pub fn run_all_methods(
     out.push(MethodOutput {
         method: Method::Proposed,
         graph: rs.graph,
+        snapshot: rs.snapshot,
         total_secs: rs.stats.total_secs(),
         rewire_secs: rs.stats.rewire_secs,
     });
@@ -194,7 +213,9 @@ pub fn evaluate_run(
     run_all_methods(g, fraction, rc, rng)
         .into_iter()
         .map(|mo| {
-            let props = StructuralProperties::compute(&mo.graph, props_cfg);
+            // The 12 property kernels are read-only: consume the CSR
+            // snapshot each method froze exactly once.
+            let props = StructuralProperties::compute(&mo.snapshot, props_cfg);
             RunResult {
                 method: mo.method,
                 distances: orig.l1_distances(&props),

@@ -215,7 +215,7 @@ pub fn props(argv: &[String]) -> i32 {
         USAGE,
         &["graph", "exact-threshold", "pivots", "seed"],
         |o| {
-            let g = load(o.req("graph")?)?;
+            let g = load(o.req("graph")?)?.freeze();
             let p = StructuralProperties::compute(&g, &props_cfg(o)?);
             println!("n        {}", p.num_nodes);
             println!("k_avg    {:.4}", p.avg_degree);
@@ -245,8 +245,8 @@ pub fn compare(argv: &[String]) -> i32 {
         USAGE,
         &["original", "generated", "exact-threshold", "pivots", "seed"],
         |o| {
-            let orig = load(o.req("original")?)?;
-            let gen = load(o.req("generated")?)?;
+            let orig = load(o.req("original")?)?.freeze();
+            let gen = load(o.req("generated")?)?.freeze();
             let cfg = props_cfg(o)?;
             let po = StructuralProperties::compute(&orig, &cfg);
             let pg = StructuralProperties::compute(&gen, &cfg);
@@ -272,8 +272,8 @@ pub fn dissim(argv: &[String]) -> i32 {
         USAGE,
         &["original", "generated", "exact-threshold", "pivots", "seed"],
         |o| {
-            let orig = load(o.req("original")?)?;
-            let gen = load(o.req("generated")?)?;
+            let orig = load(o.req("original")?)?.freeze();
+            let gen = load(o.req("generated")?)?.freeze();
             let d = sgr_props::dissimilarity::dissimilarity(&orig, &gen, &props_cfg(o)?);
             println!("{d:.6}");
             Ok(())

@@ -23,6 +23,9 @@ use sgr_util::{FxHashMap, Xoshiro256pp};
 pub struct GjokaOutput {
     /// The generated graph.
     pub graph: Graph,
+    /// An order-preserving CSR snapshot of `graph`, frozen after rewiring
+    /// (see [`crate::Restored::snapshot`]).
+    pub snapshot: sgr_graph::CsrGraph,
     /// The estimates used as targets.
     pub estimates: Estimates,
     /// Phase timings and counters (same shape as the proposed method's).
@@ -90,8 +93,10 @@ pub fn generate(
         edges: graph.num_edges(),
         candidate_edges,
     };
+    let snapshot = graph.freeze();
     Ok(GjokaOutput {
         graph,
+        snapshot,
         estimates,
         stats,
     })

@@ -33,7 +33,7 @@ pub mod target_jdm;
 
 use sgr_dk::rewire::{RewireEngine, RewireStats};
 use sgr_estimate::{estimate_all, EstimateError, Estimates};
-use sgr_graph::Graph;
+use sgr_graph::{CsrGraph, Graph};
 use sgr_sample::{Crawl, Subgraph};
 use sgr_util::Xoshiro256pp;
 
@@ -123,6 +123,11 @@ impl RestoreStats {
 pub struct Restored {
     /// The generated graph `G̃` (contains `G'` as node ids `0..|V'|`).
     pub graph: Graph,
+    /// An order-preserving CSR snapshot of `graph`, frozen once after the
+    /// last mutation (rewiring). Hand this — not `graph` — to the
+    /// read-only consumers (property computation, dissimilarity, layout);
+    /// it reads the same but traverses a flat arena.
+    pub snapshot: CsrGraph,
     /// The subgraph `G'` the generation started from.
     pub subgraph: Subgraph,
     /// The re-weighted estimates used as targets.
@@ -178,8 +183,12 @@ pub fn restore(
         edges: graph.num_edges(),
         candidate_edges,
     };
+    // Freeze once: construction and rewiring are done, so every consumer
+    // from here on is read-only and gets the CSR arena.
+    let snapshot = graph.freeze();
     Ok(Restored {
         graph,
+        snapshot,
         subgraph,
         estimates,
         stats,

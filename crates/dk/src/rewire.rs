@@ -20,7 +20,7 @@
 //! Rewiring dominates generation time (the paper's Table IV), and late in
 //! a run almost every attempt is **rejected** — the distance is near its
 //! floor and few swaps still improve it. An apply-rollback engine (kept in
-//! [`reference`] as the correctness baseline) makes every one of those
+//! [`mod@reference`] as the correctness baseline) makes every one of those
 //! rejected attempts pay worst-case cost: four edge toggles applied to the
 //! graph *and* the multiplicity index, two hash-map allocations, then a
 //! second round of four toggles to roll everything back.
@@ -39,7 +39,7 @@
 //!    per-node triangle deltas `Δt_i` match the reference integer for
 //!    integer.
 //! 2. **Decision.** `Δt` is folded into per-degree candidate sums `S'(k)`
-//!    and a predicted distance `D'` ([`EngineCore::fold_decide`], shared
+//!    and a predicted distance `D'` (`EngineCore::fold_decide`, shared
 //!    verbatim with the reference so accept/reject decisions and the final
 //!    distance are bitwise identical).
 //! 3. **Commit.** Only when `D' < D` are the graph, the index, `t`,

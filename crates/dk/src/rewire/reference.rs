@@ -10,8 +10,8 @@
 //! It exists for two jobs:
 //!
 //! * **Equivalence oracle.** [`ApplyRollbackEngine`] shares
-//!   [`EngineCore`]'s swap picking (identical RNG-draw order) and
-//!   [`EngineCore::fold_decide`] (identical float-operation order) with
+//!   `EngineCore`'s swap picking (identical RNG-draw order) and
+//!   `EngineCore::fold_decide` (identical float-operation order) with
 //!   the production [`RewireEngine`](crate::rewire::RewireEngine), so for
 //!   the same seed the two must produce the same accept/reject sequence,
 //!   the same final edge multiset, and a bitwise-identical final distance.

@@ -540,6 +540,35 @@ mod tests {
     }
 
     #[test]
+    fn frozen_hidden_graph_yields_identical_estimates() {
+        // Crawling a CSR snapshot of the hidden graph (order-preserving)
+        // must reproduce the walk — and therefore every estimate —
+        // exactly: the estimators only ever see the sampling list.
+        let g = sgr_gen::holme_kim(600, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(30)).unwrap();
+        let csr = sgr_graph::CsrGraph::freeze(&g);
+        fn walk<G: sgr_graph::GraphView>(am: &mut AccessModel<'_, G>) -> Crawl {
+            let mut rng = Xoshiro256pp::seed_from_u64(31);
+            random_walk(am, 0, 120, &mut rng)
+        }
+        let a = walk(&mut AccessModel::new(&g));
+        let b = walk(&mut AccessModel::new(&csr));
+        assert_eq!(a.seq, b.seq);
+        let ea = estimate_all(&a).unwrap();
+        let eb = estimate_all(&b).unwrap();
+        assert_eq!(ea.n_hat.to_bits(), eb.n_hat.to_bits());
+        assert_eq!(ea.avg_degree_hat.to_bits(), eb.avg_degree_hat.to_bits());
+        assert_eq!(ea.degree_dist, eb.degree_dist);
+        assert_eq!(ea.clustering, eb.clustering);
+        assert_eq!(ea.jdd.len(), eb.jdd.len());
+        for (k, v) in ea.jdd.iter() {
+            assert_eq!(
+                eb.jdd.get(k).copied().unwrap_or(f64::NAN).to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn estimates_accessors() {
         let g = complete(8);
         let crawl = walk_on(&g, 8, 11);

@@ -5,6 +5,7 @@
 //! generated graphs on *their* largest connected component (§V-B). Both
 //! operations live here.
 
+use crate::view::GraphView;
 use crate::{Graph, NodeId};
 
 /// Partition of nodes into connected components.
@@ -34,8 +35,8 @@ impl Components {
 }
 
 /// Labels connected components with an iterative BFS (no recursion, safe on
-/// million-node graphs).
-pub fn connected_components(g: &Graph) -> Components {
+/// million-node graphs). Accepts any read-only [`GraphView`] backend.
+pub fn connected_components<G: GraphView + ?Sized>(g: &G) -> Components {
     let n = g.num_nodes();
     const UNVISITED: u32 = u32::MAX;
     let mut label = vec![UNVISITED; n];
@@ -65,13 +66,16 @@ pub fn connected_components(g: &Graph) -> Components {
 }
 
 /// Whether the graph is connected (an empty graph counts as connected).
-pub fn is_connected(g: &Graph) -> bool {
+pub fn is_connected<G: GraphView + ?Sized>(g: &G) -> bool {
     g.num_nodes() == 0 || connected_components(g).count() == 1
 }
 
 /// Extracts the largest connected component as a new graph with dense node
-/// ids. Returns the new graph and `mapping[new_id] = old_id`.
-pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+/// ids. Returns the new graph and `mapping[new_id] = old_id`. The result
+/// is a mutable [`Graph`] (callers freeze it when the read-only kernels
+/// take over); edge order within each node is inherited from the view's
+/// edge iteration, so identical views yield identical components.
+pub fn largest_component<G: GraphView>(g: &G) -> (Graph, Vec<NodeId>) {
     if g.num_nodes() == 0 {
         return (Graph::with_nodes(0), Vec::new());
     }

@@ -241,6 +241,13 @@ impl Graph {
         Graph::from_edges(self.num_nodes(), &edges)
     }
 
+    /// Freezes the current state into an immutable CSR snapshot
+    /// (order-preserving; see [`crate::CsrGraph::freeze`]). Read-only
+    /// consumers should be handed the snapshot, not the mutable graph.
+    pub fn freeze(&self) -> crate::CsrGraph {
+        crate::CsrGraph::freeze(self)
+    }
+
     /// Checks internal invariants; used by tests and debug assertions.
     /// Returns an error message describing the first violation found.
     pub fn validate(&self) -> Result<(), String> {

@@ -28,12 +28,36 @@
 //! differs between the two representations — so consumers must not rely on
 //! it; every algorithm in this workspace folds entries commutatively.
 
-use crate::{Graph, NodeId};
+use crate::view::GraphView;
+use crate::NodeId;
 use sgr_util::FxHashMap;
 
-/// Maximum number of distinct neighbors stored in sorted-vec form. Chosen
-/// so the list fits in a handful of cache lines; beyond it, update cost
-/// (O(len) inserts) starts to rival hashing's constant factors.
+/// Maximum number of distinct neighbors stored in sorted-vec form.
+///
+/// Confirmed by measurement (the `small_threshold_sweep` bench in
+/// `crates/bench/benches/threshold.rs`; single-core container, release
+/// build, 2026-07; median ns/op over cutoffs {16, 32, 64, 128, 256}).
+/// Three degree profiles × three workloads showed the cutoff is a real
+/// trade-off, not a free parameter:
+///
+/// * Erdős–Rényi k̄ ≈ 8 (every node below every cutoff): flat — lookup
+///   ≈ 24 ns, churn ≈ 104 ns, iterate ≈ 29 ns at all cutoffs.
+/// * Holme–Kim m = 8 heavy tail: point lookups favor hashing *early*
+///   (18 → 31 → 40 ns at 16 / 64 / 256) and edge churn mildly agrees
+///   (92 → 106 → 131 ns), but full `entries()` iteration — the triangle
+///   and shared-partner mix — favors sorted vecs *late* (126 → 78 →
+///   43 ns at 16 / 64 / 256).
+/// * Watts–Strogatz k = 100 (≈ 200 distinct neighbors per node, all on
+///   one side of each cutoff): hashed nodes iterate 3.4× slower
+///   (627 vs 186 ns) while sorted-vec nodes churn 2.3× slower
+///   (403 vs 176 ns) — each extreme has a ≥ 2.3× pathology.
+///
+/// No cutoff dominates; 64 is the bounded-regret middle: on the
+/// heavy-tailed profile (the case this workspace actually runs) every
+/// workload stays within ≈ 1.8× of its per-workload best, whereas 16
+/// costs 2.9× on iteration and 256 costs 2.2× on lookups plus the
+/// mid-degree churn pathology. 128 measures within noise of 64 except a
+/// further lookup regression (31 → 35 ns), so the lower value stands.
 pub const SMALL_THRESHOLD: usize = 64;
 
 /// Per-node storage for `(neighbor, A_uv)` pairs. See the module docs for
@@ -133,9 +157,13 @@ impl NodeRep {
 
 /// Hybrid per-node index from neighbor id to adjacency-matrix entry `A_uv`
 /// (multiplicity; `A_uu` = 2 × loop count).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MultiplicityIndex {
     nodes: Vec<NodeRep>,
+    /// Sorted-vec/hash cutoff; [`SMALL_THRESHOLD`] unless overridden by
+    /// [`MultiplicityIndex::build_with_threshold`] (used by the bench that
+    /// sweeps the cutoff).
+    threshold: usize,
     /// Total structural mutations (`add_edge` + `remove_edge` calls),
     /// maintained only in debug builds. The rewiring engine asserts this
     /// is unchanged across rejected swap attempts.
@@ -143,10 +171,24 @@ pub struct MultiplicityIndex {
     mutations: u64,
 }
 
+impl Default for MultiplicityIndex {
+    fn default() -> Self {
+        Self::with_nodes(0)
+    }
+}
+
 impl MultiplicityIndex {
-    /// Builds the index from a graph in O(n + m log k̄); nodes above
-    /// [`SMALL_THRESHOLD`] distinct neighbors go straight to hashed form.
-    pub fn build(g: &Graph) -> Self {
+    /// Builds the index from any read-only view in O(n + m log k̄); nodes
+    /// above [`SMALL_THRESHOLD`] distinct neighbors go straight to hashed
+    /// form.
+    pub fn build<G: GraphView + ?Sized>(g: &G) -> Self {
+        Self::build_with_threshold(g, SMALL_THRESHOLD)
+    }
+
+    /// As [`build`](Self::build), with an explicit sorted-vec/hash cutoff.
+    /// Exists so the `small_threshold_sweep` bench can measure candidate
+    /// cutoffs; production code should use [`build`](Self::build).
+    pub fn build_with_threshold<G: GraphView + ?Sized>(g: &G, threshold: usize) -> Self {
         let mut nodes: Vec<NodeRep> = Vec::with_capacity(g.num_nodes());
         let mut scratch: Vec<NodeId> = Vec::new();
         for u in g.nodes() {
@@ -162,13 +204,14 @@ impl MultiplicityIndex {
                 }
             }
             let mut rep = NodeRep::Sorted(list);
-            if rep.len() > SMALL_THRESHOLD {
+            if rep.len() > threshold {
                 rep.promote();
             }
             nodes.push(rep);
         }
         Self {
             nodes,
+            threshold,
             #[cfg(debug_assertions)]
             mutations: 0,
         }
@@ -178,6 +221,7 @@ impl MultiplicityIndex {
     pub fn with_nodes(n: usize) -> Self {
         Self {
             nodes: (0..n).map(|_| NodeRep::default()).collect(),
+            threshold: SMALL_THRESHOLD,
             #[cfg(debug_assertions)]
             mutations: 0,
         }
@@ -254,7 +298,7 @@ impl MultiplicityIndex {
     fn bump(&mut self, u: NodeId, v: NodeId, by: u32) {
         let rep = &mut self.nodes[u as usize];
         let len = rep.increment(v, by);
-        if len > SMALL_THRESHOLD {
+        if len > self.threshold {
             rep.promote();
         }
     }
@@ -274,7 +318,7 @@ impl MultiplicityIndex {
     }
 
     /// Consistency check against a graph; returns the first mismatch.
-    pub fn validate_against(&self, g: &Graph) -> Result<(), String> {
+    pub fn validate_against<G: GraphView + ?Sized>(&self, g: &G) -> Result<(), String> {
         if self.nodes.len() != g.num_nodes() {
             return Err(format!(
                 "index covers {} nodes, graph has {}",
@@ -342,6 +386,7 @@ impl ExactSizeIterator for Entries<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     #[test]
     fn build_matches_graph() {

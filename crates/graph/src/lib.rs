@@ -13,6 +13,23 @@
 //! `degree(u) == adj[u].len()` is consistent with the handshake lemma and
 //! with the `A_ii` convention.
 //!
+//! ## The read/write split
+//!
+//! [`Graph`] is the **write-side** type: construction, stub matching, and
+//! rewiring mutate it in place. Every **read-only** consumer — property
+//! kernels, component labeling, crawlers, estimator harnesses, layout —
+//! is written against the [`GraphView`] trait instead, which exposes just
+//! node/edge counts and neighbor slices. Two implementations exist:
+//!
+//! * [`Graph`] itself, so exploratory code can analyze a graph without an
+//!   extra copy;
+//! * [`CsrGraph`], an immutable compressed-sparse-row snapshot produced by
+//!   [`CsrGraph::freeze`] (order-preserving, results bitwise-identical to
+//!   the adjacency-list backend) or [`CsrGraph::freeze_sorted`]
+//!   (binary-search membership). Pipelines freeze once after the last
+//!   mutation and hand the snapshot to every downstream reader; the flat
+//!   arena removes per-node pointer chasing from BFS-style kernels.
+//!
 //! Additional substrate:
 //! * [`components`] — connected components, largest-component extraction
 //!   (the paper's dataset preprocessing step);
@@ -23,7 +40,11 @@
 mod graph;
 
 pub mod components;
+pub mod csr;
 pub mod index;
 pub mod io;
+pub mod view;
 
+pub use csr::CsrGraph;
 pub use graph::{DegreeVector, Graph, NodeId};
+pub use view::GraphView;

@@ -1,0 +1,261 @@
+//! The read-only graph abstraction every analysis layer consumes.
+//!
+//! [`GraphView`] captures exactly what the read-only consumers of the
+//! workspace need — node/edge counts and per-node neighbor **slices** —
+//! and derives everything else (degree vectors, edge iteration,
+//! multiplicity queries) from those three primitives. Both the mutable
+//! adjacency-list [`Graph`] (the write-side type used by construction and
+//! rewiring) and the immutable CSR snapshot [`crate::CsrGraph`] implement
+//! it, so property kernels, crawlers, estimator harnesses, and layout code
+//! are written once and run on either representation.
+//!
+//! The contract mirrors the paper's multigraph conventions (§III-A):
+//! `neighbors(u)` lists each neighbor once per parallel edge, and a
+//! self-loop at `u` contributes **two** copies of `u`, so
+//! `degree(u) == neighbors(u).len()` and `Σ_u degree(u) == 2 m`.
+//! Implementations must keep [`GraphView::num_edges`] consistent with that
+//! handshake identity.
+
+use crate::{DegreeVector, Graph, NodeId};
+
+/// Read-only view of an undirected multigraph with self-loops.
+///
+/// Only [`num_nodes`](GraphView::num_nodes),
+/// [`num_edges`](GraphView::num_edges), and
+/// [`neighbors`](GraphView::neighbors) are required; the provided methods
+/// derive the rest and match the semantics of the corresponding inherent
+/// methods on [`Graph`]. Implementors with a faster representation (e.g. a
+/// sorted CSR arena) should override the membership queries.
+pub trait GraphView {
+    /// Number of nodes (including isolated ones). Node ids are dense:
+    /// `0 .. num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of edges, counting each multi-edge copy once and each
+    /// self-loop once.
+    fn num_edges(&self) -> usize;
+
+    /// Neighbor list of `u` (multi-edges repeated; each self-loop
+    /// contributes two copies of `u`).
+    fn neighbors(&self, u: NodeId) -> &[NodeId];
+
+    /// Degree of `u` (self-loops count twice, per the `A_ii` convention).
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Average degree `k̄ = 2m / n`. Zero for an empty graph.
+    fn average_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Maximum degree; 0 for an empty graph.
+    fn max_degree(&self) -> usize {
+        self.nodes().map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Degree vector `{n(k)}_k` indexed `0 ..= k_max`.
+    fn degree_vector(&self) -> DegreeVector {
+        let mut dv = vec![0usize; self.max_degree() + 1];
+        for u in self.nodes() {
+            dv[self.degree(u)] += 1;
+        }
+        dv
+    }
+
+    /// Adjacency-matrix entry `A_uv`: edge multiplicity for `u != v`,
+    /// twice the loop count for `u == v`. O(deg(u)) by default.
+    fn multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        self.neighbors(u).iter().filter(|&&x| x == v).count()
+    }
+
+    /// Whether at least one edge `{u, v}` exists. Scans the smaller
+    /// endpoint's list by default.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).contains(&b)
+    }
+
+    /// Number of self-loop edges in the whole graph.
+    fn num_self_loops(&self) -> usize {
+        self.nodes()
+            .map(|u| self.neighbors(u).iter().filter(|&&v| v == u).count() / 2)
+            .sum()
+    }
+
+    /// Iterates every node id in ascending order.
+    #[inline]
+    fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..self.num_nodes() as NodeId
+    }
+
+    /// Iterates every edge exactly once as `(u, v)` with `u <= v`, in
+    /// ascending `u` order and, within a node, neighbor-list order.
+    /// Multi-edges are yielded once per copy; each self-loop once. The
+    /// sequence matches [`Graph::edges`] when the neighbor lists match.
+    fn edges(&self) -> EdgeIter<'_, Self>
+    where
+        Self: Sized,
+    {
+        EdgeIter {
+            g: self,
+            u: 0,
+            i: 0,
+            pending_loop: false,
+        }
+    }
+}
+
+/// Edge iterator of [`GraphView::edges`].
+pub struct EdgeIter<'a, G: GraphView> {
+    g: &'a G,
+    u: usize,
+    i: usize,
+    /// Whether an odd number of loop entries has been seen at the current
+    /// node (loops are stored twice; every second copy yields the edge).
+    pending_loop: bool,
+}
+
+impl<G: GraphView> Iterator for EdgeIter<'_, G> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.g.num_nodes();
+        while self.u < n {
+            let u = self.u as NodeId;
+            let nbrs = self.g.neighbors(u);
+            while self.i < nbrs.len() {
+                let v = nbrs[self.i];
+                self.i += 1;
+                if v > u {
+                    return Some((u, v));
+                }
+                if v == u {
+                    self.pending_loop = !self.pending_loop;
+                    if !self.pending_loop {
+                        return Some((u, u));
+                    }
+                }
+            }
+            self.u += 1;
+            self.i = 0;
+            self.pending_loop = false;
+        }
+        None
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, u)
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        Graph::degree(self, u)
+    }
+
+    fn multiplicity(&self, u: NodeId, v: NodeId) -> usize {
+        Graph::multiplicity(self, u, v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+
+    fn degree_vector(&self) -> DegreeVector {
+        Graph::degree_vector(self)
+    }
+
+    fn num_self_loops(&self) -> usize {
+        Graph::num_self_loops(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn messy() -> Graph {
+        let mut g = Graph::from_edges(4, &[(0, 1), (0, 1), (1, 2), (2, 0)]);
+        g.add_edge(3, 3);
+        g.add_edge(1, 1);
+        g
+    }
+
+    /// Exercises the provided (default) implementations against the
+    /// inherent ones through a thin wrapper that cannot inherit them.
+    struct Wrap(Graph);
+
+    impl GraphView for Wrap {
+        fn num_nodes(&self) -> usize {
+            self.0.num_nodes()
+        }
+        fn num_edges(&self) -> usize {
+            self.0.num_edges()
+        }
+        fn neighbors(&self, u: NodeId) -> &[NodeId] {
+            self.0.neighbors(u)
+        }
+    }
+
+    #[test]
+    fn defaults_match_graph_inherents() {
+        let g = messy();
+        let w = Wrap(g.clone());
+        assert_eq!(w.degree_vector(), g.degree_vector());
+        assert_eq!(w.max_degree(), g.max_degree());
+        assert_eq!(w.average_degree(), g.average_degree());
+        assert_eq!(w.num_self_loops(), g.num_self_loops());
+        for u in g.nodes() {
+            assert_eq!(GraphView::degree(&w, u), g.degree(u));
+            for v in g.nodes() {
+                assert_eq!(w.multiplicity(u, v), g.multiplicity(u, v));
+                assert_eq!(GraphView::has_edge(&w, u, v), g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn trait_edges_match_inherent_edges() {
+        let g = messy();
+        let w = Wrap(g.clone());
+        let inherent: Vec<_> = g.edges().collect();
+        let through_view: Vec<_> = w.edges().collect();
+        assert_eq!(inherent, through_view);
+        assert_eq!(through_view.len(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_view() {
+        let w = Wrap(Graph::with_nodes(0));
+        assert_eq!(w.edges().count(), 0);
+        assert_eq!(w.max_degree(), 0);
+        assert_eq!(w.average_degree(), 0.0);
+        assert_eq!(w.degree_vector(), vec![0]);
+    }
+}

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use sgr_graph::components::{connected_components, is_connected, largest_component};
 use sgr_graph::index::MultiplicityIndex;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{CsrGraph, Graph, GraphView, NodeId};
 
 /// Strategy: a small random multigraph as (n, edge list).
 fn arb_multigraph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
@@ -97,6 +97,91 @@ proptest! {
             prop_assert_ne!(u, v);
         }
         prop_assert!(s.num_edges() <= g.num_edges());
+    }
+
+    #[test]
+    fn freeze_preserves_counts_edges_dv_and_jdm((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let csr = CsrGraph::freeze(&g);
+        // Node count, edge count, degree vector.
+        prop_assert_eq!(csr.num_nodes(), g.num_nodes());
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        prop_assert_eq!(csr.degree_vector(), g.degree_vector());
+        prop_assert_eq!(csr.num_self_loops(), g.num_self_loops());
+        // Edge multiset (multi-edges and self-loops included).
+        let mut ge: Vec<_> = g.edges().collect();
+        let mut ce: Vec<_> = GraphView::edges(&csr).collect();
+        ge.sort_unstable();
+        ce.sort_unstable();
+        prop_assert_eq!(ge, ce);
+        // JDM: multiset of endpoint-degree pairs over all edges (loops
+        // land on the diagonal) — the invariant the dK-2 machinery
+        // preserves.
+        fn jdm_of<G: GraphView>(v: &G) -> Vec<(usize, usize)> {
+            let mut pairs: Vec<(usize, usize)> = v
+                .edges()
+                .map(|(u, w)| {
+                    let (a, b) = (v.degree(u), v.degree(w));
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect();
+            pairs.sort_unstable();
+            pairs
+        }
+        prop_assert_eq!(jdm_of(&g), jdm_of(&csr));
+        // Per-node neighbor order is preserved exactly.
+        for u in g.nodes() {
+            prop_assert_eq!(GraphView::neighbors(&csr, u), g.neighbors(u));
+        }
+        // Thawing reproduces a valid graph with the same edge multiset.
+        let back = csr.thaw();
+        prop_assert!(back.validate().is_ok());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn sorted_freeze_membership_agrees((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let sorted = CsrGraph::freeze_sorted(&g);
+        prop_assert_eq!(sorted.num_nodes(), g.num_nodes());
+        prop_assert_eq!(sorted.num_edges(), g.num_edges());
+        prop_assert_eq!(sorted.degree_vector(), g.degree_vector());
+        for u in g.nodes() {
+            prop_assert!(sorted.neighbors(u).windows(2).all(|w| w[0] <= w[1]));
+            for v in g.nodes() {
+                prop_assert_eq!(sorted.multiplicity(u, v), g.multiplicity(u, v));
+                prop_assert_eq!(sorted.has_edge(u, v), g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_across_backends((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let csr = CsrGraph::freeze(&g);
+        let a = connected_components(&g);
+        let b = connected_components(&csr);
+        prop_assert_eq!(a.label, b.label);
+        prop_assert_eq!(a.sizes, b.sizes);
+        let (lcc_a, map_a) = largest_component(&g);
+        let (lcc_b, map_b) = largest_component(&csr);
+        prop_assert_eq!(map_a, map_b);
+        prop_assert_eq!(
+            lcc_a.edges().collect::<Vec<_>>(),
+            lcc_b.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn index_builds_identically_from_csr((n, edges) in arb_multigraph()) {
+        let g = Graph::from_edges(n, &edges);
+        let csr = CsrGraph::freeze(&g);
+        let idx = MultiplicityIndex::build(&csr);
+        prop_assert!(idx.validate_against(&g).is_ok());
     }
 
     #[test]

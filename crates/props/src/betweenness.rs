@@ -6,25 +6,23 @@
 //! `b_i = Σ_{j≠i} Σ_{k≠i,j} σ_jk(i)/σ_jk` counts **ordered** pairs, which
 //! is exactly what undirected Brandes accumulation produces without the
 //! usual halving.
+//!
+//! Traversal reads neighbor slices straight through [`GraphView`] — no
+//! deduplicated adjacency copy. The path-count semantics of the paper's σ
+//! are over node *sequences*, so parallel edges must contribute once; a
+//! per-relaxation stamp array suppresses duplicate neighbors in O(1)
+//! without allocating or reordering (results follow each backend's
+//! neighbor order, which [`sgr_graph::CsrGraph::freeze`] preserves).
 
 use crate::PropsConfig;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{GraphView, NodeId};
 use sgr_util::Xoshiro256pp;
 
 /// Per-node betweenness centrality.
-pub fn betweenness(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
+pub fn betweenness<G: GraphView + Sync>(g: &G, cfg: &PropsConfig) -> Vec<f64> {
     let n = g.num_nodes();
     if n < 3 {
         return vec![0.0; n];
-    }
-    // Deduplicate adjacency: the path-count semantics of the paper's σ are
-    // over node sequences, so parallel edges do not create new paths.
-    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(n);
-    for u in g.nodes() {
-        let mut ns: Vec<NodeId> = g.neighbors(u).iter().copied().filter(|&v| v != u).collect();
-        ns.sort_unstable();
-        ns.dedup();
-        adj.push(ns);
     }
     let exact = n <= cfg.exact_threshold;
     let sources: Vec<NodeId> = if exact {
@@ -43,14 +41,13 @@ pub fn betweenness(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
     };
     let threads = cfg.effective_threads().max(1).min(sources.len().max(1));
     let partials: Vec<Vec<f64>> = if threads <= 1 || sources.len() < 4 {
-        vec![accumulate(&adj, &sources)]
+        vec![accumulate(g, &sources)]
     } else {
         let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
-        let adj_ref = &adj;
         std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| scope.spawn(move || accumulate(adj_ref, chunk)))
+                .map(|chunk| scope.spawn(move || accumulate(g, chunk)))
                 .collect();
             handles
                 .into_iter()
@@ -71,26 +68,52 @@ pub fn betweenness(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
 }
 
 /// Brandes dependency accumulation over the given sources.
-fn accumulate(adj: &[Vec<NodeId>], sources: &[NodeId]) -> Vec<f64> {
-    let n = adj.len();
+///
+/// Predecessor lists live in one flat arena indexed by cumulative degree
+/// (every predecessor of `v` is a neighbor of `v`, so `deg(v)` slots
+/// always suffice — parallel copies are suppressed before the push): no
+/// per-node `Vec` headers, no per-source clearing beyond a length reset
+/// of the visited nodes.
+fn accumulate<G: GraphView>(g: &G, sources: &[NodeId]) -> Vec<f64> {
+    let n = g.num_nodes();
     let mut b = vec![0.0f64; n];
     let mut dist = vec![-1i32; n];
     let mut sigma = vec![0.0f64; n];
     let mut delta = vec![0.0f64; n];
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    // Flat predecessor arena: v's slots are pred_off[v] .. pred_off[v+1].
+    // Offsets are u32 to halve their cache footprint — the same limit
+    // CsrGraph::freeze asserts, enforced here too because the mutable
+    // Graph backend carries no size cap of its own.
+    assert!(
+        u32::try_from(2 * g.num_edges()).is_ok(),
+        "graph too large for u32 predecessor offsets ({} neighbor entries)",
+        2 * g.num_edges()
+    );
+    let mut pred_off: Vec<u32> = Vec::with_capacity(n + 1);
+    pred_off.push(0);
+    for u in g.nodes() {
+        pred_off.push(pred_off[u as usize] + g.degree(u) as u32);
+    }
+    let mut pred_data: Vec<NodeId> = vec![0; *pred_off.last().unwrap() as usize];
+    let mut pred_len: Vec<u32> = vec![0; n];
+    // Duplicate-neighbor suppression: `relaxed[v] == token` means `v` was
+    // already seen while scanning the current node's neighbor slice, so a
+    // parallel edge adds nothing to σ. u64 tokens never wrap.
+    let mut relaxed = vec![0u64; n];
+    let mut token = 0u64;
     for &s in sources {
         // Reset per-source state touching only visited nodes.
         for &v in &order {
             dist[v as usize] = -1;
             sigma[v as usize] = 0.0;
             delta[v as usize] = 0.0;
-            preds[v as usize].clear();
+            pred_len[v as usize] = 0;
         }
         dist[s as usize] = -1; // in case s was untouched
         sigma[s as usize] = 0.0;
         delta[s as usize] = 0.0;
-        preds[s as usize].clear();
+        pred_len[s as usize] = 0;
         order.clear();
 
         dist[s as usize] = 0;
@@ -102,25 +125,30 @@ fn accumulate(adj: &[Vec<NodeId>], sources: &[NodeId]) -> Vec<f64> {
             head += 1;
             let du = dist[u as usize];
             let su = sigma[u as usize];
-            for &v in &adj[u as usize] {
+            token += 1;
+            for &v in g.neighbors(u) {
+                if v == u || relaxed[v as usize] == token {
+                    continue; // self-loop or repeated parallel edge
+                }
+                relaxed[v as usize] = token;
                 if dist[v as usize] < 0 {
                     dist[v as usize] = du + 1;
                     order.push(v);
                 }
                 if dist[v as usize] == du + 1 {
                     sigma[v as usize] += su;
-                    preds[v as usize].push(u);
+                    pred_data[(pred_off[v as usize] + pred_len[v as usize]) as usize] = u;
+                    pred_len[v as usize] += 1;
                 }
             }
         }
         for &w in order.iter().rev() {
             let coeff = (1.0 + delta[w as usize]) / sigma[w as usize];
-            // Indexed loop: iterating `preds[w]` by reference would hold a
-            // borrow across the `delta`/`sigma` updates.
-            #[allow(clippy::needless_range_loop)]
-            for i in 0..preds[w as usize].len() {
-                let p = preds[w as usize][i];
-                delta[p as usize] += sigma[p as usize] * coeff;
+            let lo = pred_off[w as usize] as usize;
+            let hi = lo + pred_len[w as usize] as usize;
+            for &p in &pred_data[lo..hi] {
+                let p = p as usize;
+                delta[p] += sigma[p] * coeff;
             }
             if w != s {
                 b[w as usize] += delta[w as usize];
@@ -132,7 +160,7 @@ fn accumulate(adj: &[Vec<NodeId>], sources: &[NodeId]) -> Vec<f64> {
 
 /// `{b̄(k)}` — mean betweenness of the nodes with degree `k`, indexed by
 /// degree (0 where no node of that degree exists).
-pub fn betweenness_by_degree(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
+pub fn betweenness_by_degree<G: GraphView + Sync>(g: &G, cfg: &PropsConfig) -> Vec<f64> {
     let b = betweenness(g, cfg);
     let kmax = g.max_degree();
     let mut sum = vec![0.0f64; kmax + 1];
@@ -152,6 +180,7 @@ pub fn betweenness_by_degree(g: &Graph, cfg: &PropsConfig) -> Vec<f64> {
 mod tests {
     use super::*;
     use sgr_gen::classic::{complete, path, star};
+    use sgr_graph::Graph;
 
     fn cfg() -> PropsConfig {
         PropsConfig::default()

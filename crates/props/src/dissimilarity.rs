@@ -24,7 +24,7 @@
 
 use crate::PropsConfig;
 use sgr_graph::components::largest_component;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{CsrGraph, GraphView, NodeId};
 use sgr_util::Xoshiro256pp;
 
 /// Per-node distance distributions, averaged profile, and dispersion.
@@ -41,8 +41,10 @@ pub struct DistanceProfile {
 /// Computes the distance profile of (the largest component of) `g`.
 /// Above `cfg.exact_threshold` nodes, `cfg.num_pivots` sampled sources
 /// are used — an unbiased estimator of both `μ` and the dispersion's
-/// node average.
-pub fn distance_profile(g: &Graph, cfg: &PropsConfig) -> DistanceProfile {
+/// node average. The component is frozen once into a CSR snapshot and
+/// every BFS reads the flat arena (parallel edges and self-loops never
+/// change a distance, so no dedup copy is needed).
+pub fn distance_profile<G: GraphView>(g: &G, cfg: &PropsConfig) -> DistanceProfile {
     let (lcc, _) = largest_component(g);
     let n = lcc.num_nodes();
     if n < 2 {
@@ -51,21 +53,7 @@ pub fn distance_profile(g: &Graph, cfg: &PropsConfig) -> DistanceProfile {
             nnd: 0.0,
         };
     }
-    // Deduplicated adjacency.
-    let adj: Vec<Vec<NodeId>> = lcc
-        .nodes()
-        .map(|u| {
-            let mut ns: Vec<NodeId> = lcc
-                .neighbors(u)
-                .iter()
-                .copied()
-                .filter(|&v| v != u)
-                .collect();
-            ns.sort_unstable();
-            ns.dedup();
-            ns
-        })
-        .collect();
+    let lcc = CsrGraph::freeze(&lcc);
     let sources: Vec<NodeId> = if n <= cfg.exact_threshold {
         (0..n as NodeId).collect()
     } else {
@@ -99,7 +87,7 @@ pub fn distance_profile(g: &Graph, cfg: &PropsConfig) -> DistanceProfile {
                 }
                 hist[du] += 1.0;
             }
-            for &v in &adj[u as usize] {
+            for &v in lcc.neighbors(u) {
                 if dist[v as usize] == u32::MAX {
                     dist[v as usize] = dist[u as usize] + 1;
                     queue.push(v);
@@ -162,8 +150,10 @@ pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
 
 /// The dissimilarity `D(G, H) ∈ [0, 1]` (two-term variant, weights
 /// renormalized to `0.5 / 0.5`). Zero iff the two graphs have identical
-/// distance profiles and dispersion.
-pub fn dissimilarity(g: &Graph, h: &Graph, cfg: &PropsConfig) -> f64 {
+/// distance profiles and dispersion. The two sides may use different
+/// [`GraphView`] backends (e.g. a mutable original against a frozen
+/// restoration).
+pub fn dissimilarity<G: GraphView, H: GraphView>(g: &G, h: &H, cfg: &PropsConfig) -> f64 {
     let pg = distance_profile(g, cfg);
     let ph = distance_profile(h, cfg);
     let first = (jensen_shannon(&pg.mu, &ph.mu) / 2.0f64.ln()).sqrt();

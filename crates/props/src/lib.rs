@@ -25,6 +25,15 @@
 //! computation up to a size threshold and unbiased pivot sampling above it
 //! (parallelized with std scoped threads either way), which preserves method rankings —
 //! the quantity the reproduction targets.
+//!
+//! Every kernel is generic over [`sgr_graph::GraphView`], so callers can
+//! pass the mutable [`sgr_graph::Graph`] directly or — the fast path —
+//! freeze it once into a [`sgr_graph::CsrGraph`] and hand the snapshot to
+//! all 12 computations. [`StructuralProperties::compute`] itself freezes
+//! the largest component before running the BFS-heavy global kernels.
+//! Results are bitwise-identical across the two backends when the
+//! snapshot is order-preserving ([`sgr_graph::CsrGraph::freeze`]); the
+//! property tests in `tests/backend_equivalence.rs` pin that guarantee.
 
 pub mod betweenness;
 pub mod dissimilarity;
@@ -35,7 +44,7 @@ pub mod spectral;
 pub mod triangles;
 
 use sgr_graph::components::largest_component;
-use sgr_graph::Graph;
+use sgr_graph::{CsrGraph, GraphView};
 
 /// Names of the 12 properties in the paper's table order.
 pub const PROPERTY_NAMES: [&str; 12] = [
@@ -112,12 +121,14 @@ pub struct StructuralProperties {
 }
 
 impl StructuralProperties {
-    /// Computes all 12 properties of `g`.
-    pub fn compute(g: &Graph, cfg: &PropsConfig) -> Self {
+    /// Computes all 12 properties of `g` (any [`GraphView`] backend).
+    pub fn compute<G: GraphView>(g: &G, cfg: &PropsConfig) -> Self {
         let local = local::LocalProperties::compute(g);
         // Global properties on the largest connected component, as in the
-        // paper (§V-B).
+        // paper (§V-B); the component is frozen once and the BFS-heavy
+        // kernels read the CSR arena.
         let (lcc, _) = largest_component(g);
+        let lcc = CsrGraph::freeze(&lcc);
         let sp = paths::shortest_path_properties(&lcc, cfg);
         let btw = betweenness::betweenness_by_degree(&lcc, cfg);
         let lambda1 = spectral::largest_eigenvalue(g, 1e-10, 1000);

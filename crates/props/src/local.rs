@@ -1,8 +1,16 @@
 //! Local structural properties (1)–(7) of §V-B.
+//!
+//! Generic over [`GraphView`], so the same code runs on the mutable
+//! adjacency lists and on a frozen [`sgr_graph::CsrGraph`] snapshot. The
+//! shared-partner pass keeps `A_u·` marked in an epoch-stamped
+//! [`sgr_util::scratch::ScratchAccum`] for the duration of `u`'s edge run
+//! (the edge iterator groups edges by ascending `u`), replacing per-edge
+//! index probes with dense array reads and allocating nothing per edge.
 
 use crate::triangles::triangle_counts_with_index;
 use sgr_graph::index::MultiplicityIndex;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{GraphView, NodeId};
+use sgr_util::scratch::ScratchAccum;
 
 /// The degree-indexed local properties, computed in one pass.
 #[derive(Clone, Debug)]
@@ -24,7 +32,7 @@ impl LocalProperties {
     /// paper's adjacency conventions throughout (multiplicities weight
     /// `k̄nn`, triangles, and shared partners; a self-loop contributes 2 to
     /// its node's degree).
-    pub fn compute(g: &Graph) -> Self {
+    pub fn compute<G: GraphView>(g: &G) -> Self {
         let n = g.num_nodes();
         let kmax = g.max_degree();
         let idx = MultiplicityIndex::build(g);
@@ -75,14 +83,34 @@ impl LocalProperties {
             .collect();
 
         // Edgewise shared partners: for each non-loop edge (per copy),
-        // sp(i,j) = Σ_{k≠i,j} A_ik A_jk.
+        // sp(i,j) = Σ_{k≠i,j} A_ik A_jk. The edge iterator yields edges
+        // grouped by ascending u, so A_u· stays marked in the scratch
+        // arena across u's whole run and the inner sum folds v's entry
+        // list against dense marks.
         let mut sp_counts: Vec<u64> = Vec::new();
         let mut m_eff = 0u64;
+        let mut marks: ScratchAccum<i64> = ScratchAccum::with_keys(n);
+        let mut marked_u: Option<NodeId> = None;
         for (u, v) in g.edges() {
             if u == v {
                 continue; // loops have no well-defined shared partners
             }
-            let sp = shared_partners(&idx, u, v);
+            if marked_u != Some(u) {
+                marks.begin();
+                for (w, a_uw) in idx.entries(u) {
+                    marks.add(w, a_uw as i64);
+                }
+                marked_u = Some(u);
+            }
+            let mut sp = 0usize;
+            for (w, a_vw) in idx.entries(v) {
+                if w != u && w != v {
+                    let a_uw = marks.get(w);
+                    if a_uw > 0 {
+                        sp += a_vw as usize * a_uw as usize;
+                    }
+                }
+            }
             if sp_counts.len() <= sp {
                 sp_counts.resize(sp + 1, 0);
             }
@@ -111,7 +139,7 @@ impl LocalProperties {
 /// typically assortative (`r > 0`), web/technology graphs disassortative.
 /// Self-loops are excluded; multi-edge copies each count. Returns 0 for
 /// graphs with no degree variance across edges.
-pub fn degree_assortativity(g: &Graph) -> f64 {
+pub fn degree_assortativity<G: GraphView>(g: &G) -> f64 {
     let mut m = 0.0f64;
     let (mut sum_prod, mut sum_mean, mut sum_sq) = (0.0f64, 0.0f64, 0.0f64);
     for (u, v) in g.edges() {
@@ -139,6 +167,11 @@ pub fn degree_assortativity(g: &Graph) -> f64 {
 
 /// `sp(u, v) = Σ_{k ≠ u, v} A_uk A_vk` — multiplicity-weighted common
 /// neighbors. Iterates the smaller neighbor map.
+///
+/// This is the point-query form (and the reference the tests hold the
+/// batched pass to); [`LocalProperties::compute`] uses an equivalent
+/// [`ScratchAccum`]-marked loop that amortizes `A_u·` across each node's
+/// whole edge run instead of probing per pair.
 pub fn shared_partners(idx: &MultiplicityIndex, u: NodeId, v: NodeId) -> usize {
     let (a, b) = (u, v);
     let count_from = |x: NodeId, y: NodeId| -> usize {
@@ -162,6 +195,7 @@ pub fn shared_partners(idx: &MultiplicityIndex, u: NodeId, v: NodeId) -> usize {
 mod tests {
     use super::*;
     use sgr_gen::classic::{complete, cycle, star};
+    use sgr_graph::Graph;
 
     #[test]
     fn star_properties() {
@@ -207,6 +241,44 @@ mod tests {
         let idx = MultiplicityIndex::build(&g);
         assert_eq!(shared_partners(&idx, 0, 1), 2);
         assert_eq!(shared_partners(&idx, 1, 2), 1);
+    }
+
+    #[test]
+    fn batched_sp_pass_matches_point_query_reference() {
+        // The marks-arena loop inside compute() and the public
+        // shared_partners() point query must never drift apart.
+        let mut g = Graph::from_edges(
+            7,
+            &[
+                (0, 1),
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (4, 2),
+                (5, 6),
+            ],
+        );
+        g.add_edge(1, 1);
+        let idx = MultiplicityIndex::build(&g);
+        let mut expected: Vec<u64> = Vec::new();
+        let mut m_eff = 0u64;
+        for (u, v) in g.edges() {
+            if u == v {
+                continue;
+            }
+            let sp = shared_partners(&idx, u, v);
+            if expected.len() <= sp {
+                expected.resize(sp + 1, 0);
+            }
+            expected[sp] += 1;
+            m_eff += 1;
+        }
+        let expected: Vec<f64> = expected.iter().map(|&c| c as f64 / m_eff as f64).collect();
+        let p = LocalProperties::compute(&g);
+        assert_eq!(p.shared_partner_dist, expected);
     }
 
     #[test]

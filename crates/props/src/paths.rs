@@ -7,9 +7,15 @@
 //! plus double-sweep refinement for the diameter. Both modes parallelize
 //! over sources with std scoped threads — the role the paper's
 //! parallel algorithms (its Ref. 62) play.
+//!
+//! The BFS reads neighbor slices straight through [`GraphView`] — no
+//! intermediate adjacency copy — so handing it a [`sgr_graph::CsrGraph`]
+//! snapshot traverses one flat arena. Parallel edges and self-loops cost
+//! one extra distance check each and never change a distance, so the
+//! histogram is identical on deduplicated input.
 
 use crate::PropsConfig;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{GraphView, NodeId};
 use sgr_util::Xoshiro256pp;
 
 /// Results of the shortest-path computation.
@@ -24,62 +30,67 @@ pub struct ShortestPathProperties {
     pub diameter: usize,
 }
 
-/// Deduplicated adjacency (multi-edges and loops do not affect
-/// distances).
-fn simple_adjacency(g: &Graph) -> Vec<Vec<NodeId>> {
-    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(g.num_nodes());
-    for u in g.nodes() {
-        let mut ns: Vec<NodeId> = g.neighbors(u).iter().copied().filter(|&v| v != u).collect();
-        ns.sort_unstable();
-        ns.dedup();
-        adj.push(ns);
-    }
-    adj
-}
-
-/// Single-source BFS; returns the distance histogram (`hist[l]` = number
-/// of nodes at distance `l > 0`) and the eccentricity with its farthest
-/// node.
-fn bfs_histogram(
-    adj: &[Vec<NodeId>],
+/// Single-source level-synchronous BFS; returns the distance histogram
+/// (`hist[l]` = number of nodes at distance `l > 0`) and the eccentricity
+/// with one farthest node.
+///
+/// The visited set is a dense bitset (`n/8` bytes — cache-resident even at
+/// million-node scale, where a `u32` distance array would be 32× larger
+/// and each check a likely miss), and distances are implied by level
+/// boundaries in the discovery queue, so no per-node distance store is
+/// touched at all. Parallel edges only repeat the (failed) visited check;
+/// a self-loop fails it by construction (the source of the scan is already
+/// marked).
+fn bfs_histogram<G: GraphView>(
+    g: &G,
     source: NodeId,
-    dist: &mut [u32],
+    visited: &mut [u64],
     queue: &mut Vec<NodeId>,
 ) -> (Vec<u64>, NodeId) {
-    const INF: u32 = u32::MAX;
-    for d in dist.iter_mut() {
-        *d = INF;
+    for w in visited.iter_mut() {
+        *w = 0;
     }
     queue.clear();
-    dist[source as usize] = 0;
+    visited[source as usize >> 6] |= 1u64 << (source & 63);
     queue.push(source);
-    let mut head = 0usize;
     let mut hist: Vec<u64> = Vec::new();
-    let mut farthest = source;
-    while head < queue.len() {
-        let u = queue[head];
-        head += 1;
-        let du = dist[u as usize];
-        if du > 0 {
-            if hist.len() <= du as usize {
-                hist.resize(du as usize + 1, 0);
-            }
-            hist[du as usize] += 1;
-            farthest = u;
-        }
-        for &v in &adj[u as usize] {
-            if dist[v as usize] == INF {
-                dist[v as usize] = du + 1;
-                queue.push(v);
+    let mut start = 0usize;
+    while start < queue.len() {
+        let end = queue.len();
+        for i in start..end {
+            let u = queue[i];
+            for &v in g.neighbors(u) {
+                let word = (v >> 6) as usize;
+                let bit = 1u64 << (v & 63);
+                if visited[word] & bit == 0 {
+                    visited[word] |= bit;
+                    queue.push(v);
+                }
             }
         }
+        if queue.len() > end {
+            // Everything pushed during this pass sits one level deeper.
+            hist.push((queue.len() - end) as u64);
+        }
+        start = end;
     }
-    (hist, farthest)
+    // Convert per-level counts to the distance-indexed convention
+    // (index 0 is the source's own level and always reads 0).
+    let mut full = vec![0u64; hist.len() + 1];
+    full[1..].copy_from_slice(&hist);
+    (
+        full,
+        *queue.last().expect("queue holds at least the source"),
+    )
 }
 
 /// Computes the shortest-path properties of a **connected** graph (callers
-/// pass the largest component). Empty and single-node graphs yield zeros.
-pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathProperties {
+/// pass the largest component, ideally as a frozen
+/// [`sgr_graph::CsrGraph`]). Empty and single-node graphs yield zeros.
+pub fn shortest_path_properties<G: GraphView + Sync>(
+    g: &G,
+    cfg: &PropsConfig,
+) -> ShortestPathProperties {
     let n = g.num_nodes();
     if n < 2 {
         return ShortestPathProperties {
@@ -88,7 +99,6 @@ pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathPro
             diameter: 0,
         };
     }
-    let adj = simple_adjacency(g);
     let exact = n <= cfg.exact_threshold;
     let sources: Vec<NodeId> = if exact {
         (0..n as NodeId).collect()
@@ -100,17 +110,17 @@ pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathPro
             .map(|i| i as NodeId)
             .collect()
     };
-    let (mut hist, max_far) = parallel_histogram(&adj, &sources, cfg.effective_threads());
+    let (mut hist, max_far) = parallel_histogram(g, &sources, cfg.effective_threads());
 
     // Diameter: exact when all sources used; otherwise refine with double
     // sweeps from the farthest nodes found.
     let mut diameter = hist.len().saturating_sub(1);
     if !exact {
-        let mut dist = vec![0u32; n];
+        let mut visited = vec![0u64; n.div_ceil(64)];
         let mut queue = Vec::with_capacity(n);
         let mut frontier = max_far;
         for _ in 0..4 {
-            let (h, far) = bfs_histogram(&adj, frontier, &mut dist, &mut queue);
+            let (h, far) = bfs_histogram(g, frontier, &mut visited, &mut queue);
             diameter = diameter.max(h.len().saturating_sub(1));
             if far == frontier {
                 break;
@@ -152,28 +162,30 @@ pub fn shortest_path_properties(g: &Graph, cfg: &PropsConfig) -> ShortestPathPro
 
 /// Runs BFS from every source across worker threads, merging histograms.
 /// Returns the merged histogram and one farthest node (for double sweep).
-fn parallel_histogram(
-    adj: &[Vec<NodeId>],
+fn parallel_histogram<G: GraphView + Sync>(
+    g: &G,
     sources: &[NodeId],
     threads: usize,
 ) -> (Vec<u64>, NodeId) {
-    let n = adj.len();
+    let n = g.num_nodes();
     let threads = threads.max(1).min(sources.len().max(1));
     if threads <= 1 || sources.len() < 4 {
-        let mut dist = vec![0u32; n];
+        let mut visited = vec![0u64; n.div_ceil(64)];
         let mut queue = Vec::with_capacity(n);
         let mut merged: Vec<u64> = Vec::new();
         let mut far = sources.first().copied().unwrap_or(0);
         for &s in sources {
-            let (h, f) = bfs_histogram(adj, s, &mut dist, &mut queue);
+            let (h, f) = bfs_histogram(g, s, &mut visited, &mut queue);
+            // First-max-wins in source order — the same rule the threaded
+            // branch applies per chunk and across chunks, so the
+            // double-sweep seed (and hence the sampled-mode diameter
+            // bound) does not depend on the thread count.
             if h.len() > merged.len() {
                 merged.resize(h.len(), 0);
+                far = f;
             }
             for (l, &c) in h.iter().enumerate() {
                 merged[l] += c;
-            }
-            if h.len() >= merged.len() {
-                far = f;
             }
         }
         return (merged, far);
@@ -184,12 +196,12 @@ fn parallel_histogram(
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
-                    let mut dist = vec![0u32; n];
+                    let mut visited = vec![0u64; n.div_ceil(64)];
                     let mut queue = Vec::with_capacity(n);
                     let mut merged: Vec<u64> = Vec::new();
                     let mut far = chunk.first().copied().unwrap_or(0);
                     for &s in chunk {
-                        let (h, f) = bfs_histogram(adj, s, &mut dist, &mut queue);
+                        let (h, f) = bfs_histogram(g, s, &mut visited, &mut queue);
                         if h.len() > merged.len() {
                             merged.resize(h.len(), 0);
                             far = f;

@@ -7,15 +7,18 @@
 //! on bipartite graphs (`λ_min = -λ1`); iterating on `A + I` (spectrum
 //! shifted by +1, top eigenvector unchanged) removes the degeneracy.
 
-use sgr_graph::Graph;
+use sgr_graph::GraphView;
 
 /// Computes `λ1` to relative tolerance `tol` (capped at `max_iters`
 /// iterations). Returns 0 for graphs without edges.
 ///
 /// Multi-edges weight the matrix entry (`A_uv` = multiplicity) and a
 /// self-loop contributes `A_uu = 2`, both per the paper's conventions —
-/// the adjacency-list representation encodes exactly that.
-pub fn largest_eigenvalue(g: &Graph, tol: f64, max_iters: usize) -> f64 {
+/// the neighbor-slice representation of any [`GraphView`] backend encodes
+/// exactly that. The matrix–vector products stream neighbor slices, so a
+/// frozen [`sgr_graph::CsrGraph`] turns each iteration into one pass over
+/// a flat arena.
+pub fn largest_eigenvalue<G: GraphView>(g: &G, tol: f64, max_iters: usize) -> f64 {
     let n = g.num_nodes();
     if n == 0 || g.num_edges() == 0 {
         return 0.0;
@@ -62,6 +65,7 @@ pub fn largest_eigenvalue(g: &Graph, tol: f64, max_iters: usize) -> f64 {
 mod tests {
     use super::*;
     use sgr_gen::classic::{complete, complete_bipartite, cycle, star};
+    use sgr_graph::Graph;
 
     #[test]
     fn complete_graph() {

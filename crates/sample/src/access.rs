@@ -1,6 +1,6 @@
 //! The restricted access model of §III-A.
 
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{Graph, GraphView, NodeId};
 use sgr_util::{FxHashSet, Xoshiro256pp};
 
 /// Query-counting view of a hidden graph.
@@ -10,16 +10,21 @@ use sgr_util::{FxHashSet, Xoshiro256pp};
 /// friends"). The model records which nodes were queried so experiments can
 /// stop at a target *queried fraction* and report query budgets.
 ///
+/// The hidden graph can be any read-only [`GraphView`] backend (the
+/// default, [`Graph`], keeps existing call sites unchanged); experiment
+/// harnesses that crawl the same hidden graph many times can freeze it
+/// once and crawl the [`sgr_graph::CsrGraph`] snapshot.
+///
 /// [`query`]: AccessModel::query
-pub struct AccessModel<'g> {
-    graph: &'g Graph,
+pub struct AccessModel<'g, G: GraphView = Graph> {
+    graph: &'g G,
     queried: FxHashSet<NodeId>,
     query_calls: usize,
 }
 
-impl<'g> AccessModel<'g> {
+impl<'g, G: GraphView> AccessModel<'g, G> {
     /// Wraps a hidden graph.
-    pub fn new(graph: &'g Graph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         Self {
             graph,
             queried: FxHashSet::default(),

@@ -2,7 +2,7 @@
 
 use crate::access::AccessModel;
 use crate::subgraph::Subgraph;
-use sgr_graph::NodeId;
+use sgr_graph::{GraphView, NodeId};
 use sgr_util::{FxHashMap, FxHashSet, Xoshiro256pp};
 
 /// The outcome of a crawl: the paper's sampling list
@@ -74,7 +74,11 @@ impl Crawl {
 /// Breadth-first search from `seed`, querying nodes in FIFO order until
 /// `target_queried` distinct nodes are queried (or the component is
 /// exhausted).
-pub fn bfs(am: &mut AccessModel<'_>, seed: NodeId, target_queried: usize) -> Crawl {
+pub fn bfs<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
+    seed: NodeId,
+    target_queried: usize,
+) -> Crawl {
     let mut crawl = Crawl::default();
     let mut enqueued: FxHashSet<NodeId> = FxHashSet::default();
     let mut queue: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
@@ -98,8 +102,8 @@ pub fn bfs(am: &mut AccessModel<'_>, seed: NodeId, target_queried: usize) -> Cra
 
 /// Snowball sampling: BFS in which at most `k` uniformly chosen neighbors
 /// of each queried node are enqueued (the paper uses `k = 50`, §V-E).
-pub fn snowball(
-    am: &mut AccessModel<'_>,
+pub fn snowball<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
     seed: NodeId,
     k: usize,
     target_queried: usize,
@@ -132,8 +136,8 @@ pub fn snowball(
 /// mean `p_f / (1 - p_f)`. If the fire dies before the query budget is
 /// reached, it is revived from a uniformly random already-sampled node
 /// (following Kurant et al., as the paper does).
-pub fn forest_fire(
-    am: &mut AccessModel<'_>,
+pub fn forest_fire<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
     seed: NodeId,
     p_f: f64,
     target_queried: usize,

@@ -6,9 +6,11 @@
 //! The paper's access model (§III-A) is: querying a node returns its full
 //! neighbor list; global or random access to the graph is impossible; the
 //! graph is static. [`access::AccessModel`] enforces exactly that interface
-//! over an in-memory [`sgr_graph::Graph`] and counts queries, so every
-//! crawler in this crate — and everything downstream — can only see the
-//! data a real third-party crawler would see.
+//! over any in-memory [`sgr_graph::GraphView`] backend — the mutable
+//! [`sgr_graph::Graph`] by default, or a frozen [`sgr_graph::CsrGraph`]
+//! when a harness crawls the same hidden graph many times — and counts
+//! queries, so every crawler in this crate — and everything downstream —
+//! can only see the data a real third-party crawler would see.
 //!
 //! Crawlers (§II, §V-D):
 //! * [`random_walk`] / [`random_walk_until_fraction`] — simple random walk

@@ -2,7 +2,7 @@
 
 use crate::access::AccessModel;
 use crate::crawl::Crawl;
-use sgr_graph::{Graph, NodeId};
+use sgr_graph::{GraphView, NodeId};
 use sgr_util::Xoshiro256pp;
 
 /// Simple random walk (§III-B): from the current node, move along an edge
@@ -14,8 +14,8 @@ use sgr_util::Xoshiro256pp;
 /// A `max_steps` safety valve (1000 × target) guards against pathological
 /// hidden graphs (e.g. a walk trapped next to a degree-0 neighbor set);
 /// real social graphs never hit it.
-pub fn random_walk(
-    am: &mut AccessModel<'_>,
+pub fn random_walk<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
     seed: NodeId,
     target_queried: usize,
     rng: &mut Xoshiro256pp,
@@ -44,7 +44,11 @@ pub fn random_walk(
 /// Convenience wrapper used by the experiment harness: walk a hidden graph
 /// from a uniformly random seed until `fraction` of its nodes have been
 /// queried (the paper's stopping rule, §V-D).
-pub fn random_walk_until_fraction(g: &Graph, fraction: f64, rng: &mut Xoshiro256pp) -> Crawl {
+pub fn random_walk_until_fraction<G: GraphView>(
+    g: &G,
+    fraction: f64,
+    rng: &mut Xoshiro256pp,
+) -> Crawl {
     assert!(
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1]"
@@ -59,8 +63,8 @@ pub fn random_walk_until_fraction(g: &Graph, fraction: f64, rng: &mut Xoshiro256
 /// §II): like the simple walk but never immediately returns along the edge
 /// it just crossed, unless the current node has degree 1. Improves query
 /// efficiency while keeping the chain Markovian on directed edges.
-pub fn non_backtracking_walk(
-    am: &mut AccessModel<'_>,
+pub fn non_backtracking_walk<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
     seed: NodeId,
     target_queried: usize,
     rng: &mut Xoshiro256pp,
@@ -107,8 +111,8 @@ pub fn non_backtracking_walk(
 /// over nodes, so sample means need no re-weighting (an alternative to
 /// re-weighted RW discussed in the crawling literature the paper builds
 /// on).
-pub fn metropolis_hastings_walk(
-    am: &mut AccessModel<'_>,
+pub fn metropolis_hastings_walk<G: GraphView>(
+    am: &mut AccessModel<'_, G>,
     seed: NodeId,
     target_queried: usize,
     rng: &mut Xoshiro256pp,
@@ -150,6 +154,7 @@ pub fn metropolis_hastings_walk(
 mod tests {
     use super::*;
     use sgr_gen::classic::{complete, cycle, path};
+    use sgr_graph::Graph;
     use sgr_util::FxHashMap;
 
     fn social(seed: u64) -> Graph {

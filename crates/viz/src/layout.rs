@@ -1,7 +1,7 @@
 //! Fruchterman–Reingold force-directed layout with grid-bucketed
 //! repulsion.
 
-use sgr_graph::Graph;
+use sgr_graph::GraphView;
 use sgr_util::Xoshiro256pp;
 
 /// Layout parameters.
@@ -32,7 +32,7 @@ impl Default for LayoutConfig {
 /// Repulsion is evaluated only against nodes in the surrounding 3×3 grid
 /// cells (cell side = ideal edge length `k`), the standard FR grid
 /// variant — O(n) per iteration on near-uniform layouts instead of O(n²).
-pub fn fruchterman_reingold(g: &Graph, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
+pub fn fruchterman_reingold<G: GraphView>(g: &G, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
     let n = g.num_nodes();
     if n == 0 {
         return Vec::new();
@@ -129,7 +129,7 @@ pub fn fruchterman_reingold(g: &Graph, cfg: &LayoutConfig) -> Vec<(f64, f64)> {
 
 /// Mean edge length of a layout — a cheap quality metric used by tests
 /// (connected structure should contract well below random placement).
-pub fn mean_edge_length(g: &Graph, pos: &[(f64, f64)]) -> f64 {
+pub fn mean_edge_length<G: GraphView>(g: &G, pos: &[(f64, f64)]) -> f64 {
     let mut total = 0.0;
     let mut count = 0usize;
     for (u, v) in g.edges() {

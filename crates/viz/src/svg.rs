@@ -1,13 +1,13 @@
 //! SVG rendering in the style of the paper's Fig. 4: black circles for
 //! nodes, translucent gray strokes for edges.
 
-use sgr_graph::Graph;
+use sgr_graph::GraphView;
 use std::io::Write;
 use std::path::Path;
 
 /// Writes the laid-out graph as an SVG document.
-pub fn render_svg<W: Write>(
-    g: &Graph,
+pub fn render_svg<G: GraphView, W: Write>(
+    g: &G,
     pos: &[(f64, f64)],
     size: f64,
     mut out: W,
@@ -60,7 +60,7 @@ pub fn render_svg<W: Write>(
 
 /// Lays out the graph with default Fruchterman–Reingold parameters and
 /// writes an SVG file.
-pub fn write_svg<P: AsRef<Path>>(g: &Graph, path: P) -> std::io::Result<()> {
+pub fn write_svg<G: GraphView, P: AsRef<Path>>(g: &G, path: P) -> std::io::Result<()> {
     let cfg = crate::layout::LayoutConfig::default();
     let pos = crate::layout::fruchterman_reingold(g, &cfg);
     let file = std::fs::File::create(path)?;

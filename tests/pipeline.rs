@@ -26,8 +26,14 @@ fn every_analogue_restores_with_invariants() {
             .unwrap_or_else(|e| panic!("{} restore failed: {e}", ds.name()));
         r.graph.validate().unwrap();
 
-        // Invariant 1: G' ⊆ G̃ edge-for-edge, degree-for-degree.
-        let idx = MultiplicityIndex::build(&r.graph);
+        // The frozen snapshot restore() hands out mirrors the graph.
+        assert_eq!(r.snapshot.num_nodes(), r.graph.num_nodes());
+        assert_eq!(r.snapshot.num_edges(), r.graph.num_edges());
+        assert_eq!(r.snapshot.degree_vector(), r.graph.degree_vector());
+
+        // Invariant 1: G' ⊆ G̃ edge-for-edge, degree-for-degree
+        // (read through the snapshot — the read side of the split).
+        let idx = MultiplicityIndex::build(&r.snapshot);
         for (u, v) in r.subgraph.graph.edges() {
             assert!(idx.get(u, v) >= 1, "{}: lost subgraph edge", ds.name());
         }
