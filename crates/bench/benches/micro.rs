@@ -124,7 +124,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let mut rng = Xoshiro256pp::seed_from_u64(seed);
             let cfg = RestoreConfig {
                 rewiring_coefficient: 5.0,
-                rewire: true,
+                ..RestoreConfig::default()
             };
             black_box(restore(&crawl, &cfg, &mut rng).unwrap())
         })

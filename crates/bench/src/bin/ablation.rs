@@ -46,6 +46,7 @@ fn main() {
         let cfg = RestoreConfig {
             rewiring_coefficient: 0.0,
             rewire: false,
+            ..RestoreConfig::default()
         };
         let built = restore(&crawl, &cfg, &mut rng).expect("construction failed");
         // Recover the candidate sets: added edges = all edges minus the
@@ -107,6 +108,7 @@ fn main() {
         let cfg = RestoreConfig {
             rewiring_coefficient: rc,
             rewire: rc > 0.0,
+            ..RestoreConfig::default()
         };
         let r = restore(&crawl, &cfg, &mut rng).expect("restore failed");
         let props = StructuralProperties::compute(&r.graph, &props_cfg);
@@ -144,14 +146,22 @@ fn main() {
                     &crawl,
                     &RestoreConfig {
                         rewiring_coefficient: args.rc,
-                        rewire: true,
+                        ..RestoreConfig::default()
                     },
                     &mut rng,
                 )
                 .expect("restore failed");
                 (r.graph, r.stats.total_secs())
             } else {
-                let o = sgr_core::gjoka::generate(&crawl, args.rc, &mut rng).expect("gjoka failed");
+                let o = sgr_core::gjoka::generate(
+                    &crawl,
+                    &RestoreConfig {
+                        rewiring_coefficient: args.rc,
+                        ..RestoreConfig::default()
+                    },
+                    &mut rng,
+                )
+                .expect("gjoka failed");
                 (o.graph, o.stats.total_secs())
             };
             let props = StructuralProperties::compute(&graph, &props_cfg);

@@ -1,0 +1,147 @@
+//! Construction-throughput harness: times the pre-rewiring half of the
+//! restoration pipeline — estimation, target setup (Algorithms 1–4), and
+//! stub-matching construction (Algorithm 5) — at 100k and 1M hidden-graph
+//! nodes, writing `BENCH_construct.json`. Closes the "construction is
+//! still unbenchmarked" gap next to `BENCH_rewire.json` (rewiring) and
+//! `BENCH_props.json` (read-only kernels).
+//!
+//! Phases per size (each on the same fixed crawl):
+//! * `estimate` — the five §III estimators via [`estimate_all_with`] on a
+//!   reused [`EstimateScratch`] (the arena-backed path);
+//! * `targeting` — target degree vector + joint degree matrix
+//!   (Algorithms 1–4 with the subgraph modification steps);
+//! * `construct` — node addition + stub matching
+//!   ([`extend_subgraph`](sgr_core::construct::extend_subgraph)), with
+//!   built-edges/sec as the headline rate.
+//!
+//! Usage: `bench_construct [out.json] [sizes_csv]`
+//! (defaults: `BENCH_construct.json`, sizes `100000,1000000`).
+
+use sgr_core::{construct, target_dv, target_jdm};
+use sgr_estimate::{estimate_all_with, EstimateScratch};
+use sgr_graph::Graph;
+use sgr_sample::random_walk_until_fraction;
+use sgr_util::Xoshiro256pp;
+use std::time::Instant;
+
+const GRAPH_SEED: u64 = 14;
+const CRAWL_FRACTION: f64 = 0.1;
+
+struct SizeResult {
+    hidden_nodes: usize,
+    hidden_edges: usize,
+    queried: usize,
+    built_nodes: usize,
+    built_edges: usize,
+    added_edges: usize,
+    estimate_secs: f64,
+    targeting_secs: f64,
+    construct_secs: f64,
+}
+
+fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
+    let mut rng = Xoshiro256pp::seed_from_u64(GRAPH_SEED);
+    let g: Graph = sgr_gen::holme_kim(n, 4, 0.5, &mut rng).unwrap();
+    let crawl = random_walk_until_fraction(&g, CRAWL_FRACTION, &mut rng);
+    let subgraph = crawl.subgraph();
+
+    let t = Instant::now();
+    let estimates = estimate_all_with(&crawl, scratch).expect("estimation failed");
+    let estimate_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut dv = target_dv::build(&subgraph, &estimates, &mut rng);
+    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv, &mut rng);
+    let targeting_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let built =
+        construct::extend_subgraph(&subgraph, &dv, &jdm, &mut rng).expect("construction failed");
+    let construct_secs = t.elapsed().as_secs_f64();
+
+    SizeResult {
+        hidden_nodes: g.num_nodes(),
+        hidden_edges: g.num_edges(),
+        queried: crawl.num_queried(),
+        built_nodes: built.graph.num_nodes(),
+        built_edges: built.graph.num_edges(),
+        added_edges: built.added_edges.len(),
+        estimate_secs,
+        targeting_secs,
+        construct_secs,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| "BENCH_construct.json".into());
+    let sizes: Vec<usize> = args
+        .next()
+        .unwrap_or_else(|| "100000,1000000".into())
+        .split(',')
+        .map(|t| t.trim().parse().expect("sizes must be integers"))
+        .collect();
+
+    // One scratch across every size: the arena-reuse path the experiment
+    // harness takes when it re-estimates per run.
+    let mut scratch = EstimateScratch::new();
+    let mut entries: Vec<String> = Vec::new();
+    for &n in &sizes {
+        eprintln!(
+            "bench_construct: hidden n={n} (graph seed {GRAPH_SEED}, crawl fraction {CRAWL_FRACTION})"
+        );
+        let r = run_size(n, &mut scratch);
+        let total = r.estimate_secs + r.targeting_secs + r.construct_secs;
+        let edges_per_sec = r.built_edges as f64 / r.construct_secs;
+        eprintln!(
+            "  estimate {:.3}s · targeting {:.3}s · construct {:.3}s ({} nodes, {} edges, {:.0} edges/s)",
+            r.estimate_secs, r.targeting_secs, r.construct_secs,
+            r.built_nodes, r.built_edges, edges_per_sec,
+        );
+        entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"hidden_nodes\": {},\n",
+                "      \"hidden_edges\": {},\n",
+                "      \"queried_nodes\": {},\n",
+                "      \"built_nodes\": {},\n",
+                "      \"built_edges\": {},\n",
+                "      \"added_edges\": {},\n",
+                "      \"estimate_seconds\": {:.6},\n",
+                "      \"targeting_seconds\": {:.6},\n",
+                "      \"construct_seconds\": {:.6},\n",
+                "      \"total_seconds\": {:.6},\n",
+                "      \"construct_edges_per_sec\": {:.1}\n",
+                "    }}"
+            ),
+            n,
+            r.hidden_nodes,
+            r.hidden_edges,
+            r.queried,
+            r.built_nodes,
+            r.built_edges,
+            r.added_edges,
+            r.estimate_secs,
+            r.targeting_secs,
+            r.construct_secs,
+            total,
+            edges_per_sec,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"construct_and_targeting\",\n",
+            "  \"graph\": {{\"generator\": \"holme_kim\", \"m\": 4, \"pt\": 0.5, \"seed\": {}}},\n",
+            "  \"crawl_fraction\": {},\n",
+            "  \"sizes\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        GRAPH_SEED,
+        CRAWL_FRACTION,
+        entries.join(",\n"),
+    );
+    std::fs::write(&out, json).expect("writing benchmark JSON");
+    eprintln!("  wrote {out}");
+}

@@ -1,11 +1,24 @@
 //! Rewiring-throughput harness: measures swap attempts/sec for the
-//! evaluate-then-commit engine against the apply-rollback reference on the
-//! same graph, target, and RNG seed, and writes `BENCH_rewire.json` so
-//! future PRs have a perf trajectory to defend.
+//! evaluate-then-commit engine against the apply-rollback reference, plus
+//! a thread-scaling section for the speculative-parallel engine, on the
+//! same graph, target, and RNG seed. Writes `BENCH_rewire.json` so future
+//! PRs have a perf trajectory to defend.
 //!
-//! Usage: `bench_rewire [nodes] [attempts] [out.json]`
-//! (defaults: 2000 nodes, 200_000 attempts, `BENCH_rewire.json`).
+//! Every engine and thread count is asserted to produce the **same
+//! accepted count and bitwise-identical final distance** before any
+//! number is reported — a perf number for a wrong engine is worthless.
+//!
+//! Usage: `bench_rewire [nodes] [attempts] [out.json] [threads_csv]`
+//! (defaults: 2000 nodes, 200_000 attempts, `BENCH_rewire.json`,
+//! threads `1,2,4,8`; pass `none` to skip the scaling section).
+//! The committed JSON is generated at 250_000 nodes
+//! (≈1M edges) — the scale where the parallel engine is aimed; CI
+//! re-runs at the 2000-node size for its gates. `host_cpus` records the
+//! cores the measuring host actually had: scaling numbers from a 1-core
+//! container show thread overhead, not speedup, and say nothing about
+//! multi-core behavior.
 
+use sgr_dk::rewire::parallel::ParallelRewireEngine;
 use sgr_dk::rewire::reference::ApplyRollbackEngine;
 use sgr_dk::rewire::{RewireEngine, RewireStats};
 use sgr_graph::Graph;
@@ -16,15 +29,19 @@ use std::time::Instant;
 const GRAPH_SEED: u64 = 6;
 const RNG_SEED: u64 = 10;
 
+/// Speculation block size for the scaling entries: large enough that the
+/// per-block scoped-thread spawns are noise against 4096 evaluations.
+const BENCH_BLOCK: usize = 4096;
+
 struct Measurement {
-    name: &'static str,
+    name: String,
     secs: f64,
     attempts_per_sec: f64,
     stats: RewireStats,
 }
 
 fn measure(
-    name: &'static str,
+    name: String,
     attempts: u64,
     run: impl FnOnce(u64, &mut Xoshiro256pp) -> RewireStats,
 ) -> Measurement {
@@ -40,7 +57,7 @@ fn measure(
     }
 }
 
-fn json_entry(m: &Measurement) -> String {
+fn json_entry(m: &Measurement, extra: &str) -> String {
     format!(
         concat!(
             "    \"{}\": {{\n",
@@ -49,7 +66,7 @@ fn json_entry(m: &Measurement) -> String {
             "      \"accepted\": {},\n",
             "      \"skipped\": {},\n",
             "      \"initial_distance\": {:.12},\n",
-            "      \"final_distance\": {:.12}\n",
+            "      \"final_distance\": {:.12}{}\n",
             "    }}"
         ),
         m.name,
@@ -59,7 +76,24 @@ fn json_entry(m: &Measurement) -> String {
         m.stats.skipped,
         m.stats.initial_distance,
         m.stats.final_distance,
+        extra,
     )
+}
+
+/// Engines must agree exactly before their numbers mean anything.
+fn assert_equivalent(reference: &Measurement, other: &Measurement) {
+    assert_eq!(
+        reference.stats.accepted, other.stats.accepted,
+        "{} diverged from {} in accepted count",
+        other.name, reference.name
+    );
+    assert_eq!(
+        reference.stats.final_distance.to_bits(),
+        other.stats.final_distance.to_bits(),
+        "{} diverged from {} in final distance",
+        other.name,
+        reference.name
+    );
 }
 
 fn main() {
@@ -73,6 +107,20 @@ fn main() {
         .map(|a| a.parse().expect("attempts must be an integer"))
         .unwrap_or(200_000);
     let out = args.next().unwrap_or_else(|| "BENCH_rewire.json".into());
+    // `none` (or an empty list) skips the scaling section entirely —
+    // the evaluate-vs-rollback CI gate reads only `speedup` and should
+    // not pay for parallel measurements it discards.
+    let thread_counts: Vec<usize> = args
+        .next()
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty() && *t != "none")
+        .map(|t| t.parse().expect("threads must be integers"))
+        .collect();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
     // Fixed workload: a clustered social-ish graph, every edge rewirable,
     // target = half the current clustering (accepts early, a reject-heavy
@@ -88,43 +136,65 @@ fn main() {
     let edges: Vec<_> = g.edges().collect();
 
     eprintln!(
-        "bench_rewire: n={} m={} attempts={} (graph seed {GRAPH_SEED}, rng seed {RNG_SEED})",
+        "bench_rewire: n={} m={} attempts={} host_cpus={} (graph seed {GRAPH_SEED}, rng seed {RNG_SEED})",
         g.num_nodes(),
         g.num_edges(),
-        attempts
+        attempts,
+        host_cpus,
     );
 
     let fast = {
         let mut eng = RewireEngine::new(g.clone(), edges.clone(), &target);
-        measure("evaluate_commit", attempts, |a, rng| {
+        measure("evaluate_commit".into(), attempts, |a, rng| {
             eng.run_attempts(a, rng)
         })
     };
     let slow = {
         let mut eng = ApplyRollbackEngine::new(g.clone(), edges.clone(), &target);
-        measure("apply_rollback", attempts, |a, rng| {
+        measure("apply_rollback".into(), attempts, |a, rng| {
             eng.run_attempts(a, rng)
         })
     };
+    assert_equivalent(&fast, &slow);
 
-    // The two engines must agree exactly — a perf number for a wrong
-    // engine is worthless.
-    assert_eq!(fast.stats.accepted, slow.stats.accepted, "engines diverged");
-    assert_eq!(
-        fast.stats.final_distance.to_bits(),
-        slow.stats.final_distance.to_bits(),
-        "final distances diverged"
-    );
+    // Thread scaling of the speculative-parallel engine, normalized to
+    // the sequential evaluate-then-commit engine.
+    let scaling: Vec<Measurement> = thread_counts
+        .iter()
+        .map(|&t| {
+            let mut eng = ParallelRewireEngine::new(g.clone(), edges.clone(), &target, t)
+                .with_block_size(BENCH_BLOCK);
+            let m = measure(format!("parallel{t}"), attempts, |a, rng| {
+                eng.run_attempts(a, rng)
+            });
+            assert_equivalent(&fast, &m);
+            m
+        })
+        .collect();
 
     let speedup = fast.attempts_per_sec / slow.attempts_per_sec;
-    for m in [&fast, &slow] {
+    for m in [&fast, &slow].into_iter().chain(scaling.iter()) {
         eprintln!(
-            "  {:>16}: {:>10.0} attempts/s ({:.3}s, {} accepted)",
-            m.name, m.attempts_per_sec, m.secs, m.stats.accepted
+            "  {:>16}: {:>10.0} attempts/s ({:.3}s, {} accepted, {:.2}x vs sequential)",
+            m.name,
+            m.attempts_per_sec,
+            m.secs,
+            m.stats.accepted,
+            m.attempts_per_sec / fast.attempts_per_sec,
         );
     }
-    eprintln!("  speedup: {speedup:.2}x");
+    eprintln!("  evaluate_commit vs apply_rollback: {speedup:.2}x");
 
+    let scaling_entries: Vec<String> = scaling
+        .iter()
+        .map(|m| {
+            let extra = format!(
+                ",\n      \"speedup_vs_sequential\": {:.3}",
+                m.attempts_per_sec / fast.attempts_per_sec
+            );
+            json_entry(m, &extra)
+        })
+        .collect();
     let json = format!(
         concat!(
             "{{\n",
@@ -133,7 +203,10 @@ fn main() {
             "\"seed\": {}}},\n",
             "  \"attempts\": {},\n",
             "  \"rng_seed\": {},\n",
+            "  \"host_cpus\": {},\n",
+            "  \"block_size\": {},\n",
             "  \"engines\": {{\n{},\n{}\n  }},\n",
+            "  \"scaling\": {{\n{}\n  }},\n",
             "  \"speedup\": {:.3}\n",
             "}}\n"
         ),
@@ -142,8 +215,11 @@ fn main() {
         GRAPH_SEED,
         attempts,
         RNG_SEED,
-        json_entry(&fast),
-        json_entry(&slow),
+        host_cpus,
+        BENCH_BLOCK,
+        json_entry(&fast, ""),
+        json_entry(&slow, ""),
+        scaling_entries.join(",\n"),
         speedup,
     );
     std::fs::write(&out, json).expect("writing benchmark JSON");

@@ -175,7 +175,11 @@ pub fn run_all_methods(
         0.0,
     ));
 
-    let gj = gjoka::generate(&rw_crawl, rc, rng).expect("gjoka generation failed");
+    let gjoka_cfg = RestoreConfig {
+        rewiring_coefficient: rc,
+        ..RestoreConfig::default()
+    };
+    let gj = gjoka::generate(&rw_crawl, &gjoka_cfg, rng).expect("gjoka generation failed");
     out.push(MethodOutput {
         method: Method::Gjoka,
         graph: gj.graph,
@@ -186,7 +190,7 @@ pub fn run_all_methods(
 
     let cfg = RestoreConfig {
         rewiring_coefficient: rc,
-        rewire: true,
+        ..RestoreConfig::default()
     };
     let rs = restore(&rw_crawl, &cfg, rng).expect("proposed restoration failed");
     out.push(MethodOutput {

@@ -49,7 +49,7 @@ fn props_cfg(opts: &Opts) -> Result<PropsConfig, String> {
     Ok(PropsConfig {
         exact_threshold: opts.get_or("exact-threshold", 4_000usize)?,
         num_pivots: opts.get_or("pivots", 512usize)?,
-        threads: 0,
+        threads: opts.get_or("threads", 0usize)?,
         seed: opts.get_or("seed", 0x5eedu64)?,
     })
 }
@@ -178,11 +178,20 @@ pub fn crawl(argv: &[String]) -> i32 {
 /// `sgr restore`.
 pub fn restore(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr restore --graph FILE --out FILE
-  [--fraction F=0.1] [--rc 500] [--no-rewire true] [--seed N]";
+  [--fraction F=0.1] [--rc 500] [--no-rewire true] [--threads N=1] [--seed N]
+  (--threads 0 = all cores; results are identical at every thread count)";
     run(
         argv,
         USAGE,
-        &["graph", "out", "fraction", "rc", "no-rewire", "seed"],
+        &[
+            "graph",
+            "out",
+            "fraction",
+            "rc",
+            "no-rewire",
+            "threads",
+            "seed",
+        ],
         |o| {
             let g = load(o.req("graph")?)?;
             let mut rng = Xoshiro256pp::seed_from_u64(o.get_or("seed", 42u64)?);
@@ -190,6 +199,7 @@ pub fn restore(argv: &[String]) -> i32 {
             let cfg = RestoreConfig {
                 rewiring_coefficient: o.get_or("rc", 500.0)?,
                 rewire: !o.get_or("no-rewire", false)?,
+                threads: o.get_or("threads", 1usize)?,
             };
             let r = core_restore(&crawl, &cfg, &mut rng).map_err(|e| e.to_string())?;
             let out = o.req("out")?;
@@ -209,11 +219,12 @@ pub fn restore(argv: &[String]) -> i32 {
 
 /// `sgr props`.
 pub fn props(argv: &[String]) -> i32 {
-    const USAGE: &str = "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--seed N]";
+    const USAGE: &str =
+        "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
     run(
         argv,
         USAGE,
-        &["graph", "exact-threshold", "pivots", "seed"],
+        &["graph", "exact-threshold", "pivots", "threads", "seed"],
         |o| {
             let g = load(o.req("graph")?)?.freeze();
             let p = StructuralProperties::compute(&g, &props_cfg(o)?);
@@ -239,11 +250,18 @@ pub fn props(argv: &[String]) -> i32 {
 /// `sgr compare`.
 pub fn compare(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr compare --original FILE --generated FILE
-  [--exact-threshold N] [--pivots N] [--seed N]";
+  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
     run(
         argv,
         USAGE,
-        &["original", "generated", "exact-threshold", "pivots", "seed"],
+        &[
+            "original",
+            "generated",
+            "exact-threshold",
+            "pivots",
+            "threads",
+            "seed",
+        ],
         |o| {
             let orig = load(o.req("original")?)?.freeze();
             let gen = load(o.req("generated")?)?.freeze();
@@ -266,11 +284,18 @@ pub fn compare(argv: &[String]) -> i32 {
 /// `sgr dissim`.
 pub fn dissim(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr dissim --original FILE --generated FILE
-  [--exact-threshold N] [--pivots N] [--seed N]";
+  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
     run(
         argv,
         USAGE,
-        &["original", "generated", "exact-threshold", "pivots", "seed"],
+        &[
+            "original",
+            "generated",
+            "exact-threshold",
+            "pivots",
+            "threads",
+            "seed",
+        ],
         |o| {
             let orig = load(o.req("original")?)?.freeze();
             let gen = load(o.req("generated")?)?.freeze();

@@ -9,10 +9,10 @@
 //! comparison (and the source of both the accuracy gap on `c̄(k)` and the
 //! several-fold rewiring-time gap).
 
-use crate::{RestoreError, RestoreStats};
+use crate::{RestoreConfig, RestoreError, RestoreStats};
 use sgr_dk::construct::wire_stubs;
 use sgr_dk::extract::JointDegreeMatrix;
-use sgr_dk::rewire::RewireEngine;
+use sgr_dk::rewire::RewireStats;
 use sgr_estimate::{estimate_all, Estimates};
 use sgr_graph::{Graph, NodeId};
 use sgr_sample::Crawl;
@@ -34,10 +34,13 @@ pub struct GjokaOutput {
 
 /// Runs Gjoka et al.'s method (Appendix B) from a random-walk crawl.
 ///
-/// `rc` is the rewiring coefficient `R_C` (500 in the paper).
+/// Shares [`RestoreConfig`] with the proposed method:
+/// `rewiring_coefficient` is `R_C` (500 in the paper), `rewire: false`
+/// stops after construction, and `threads` selects the rewiring engine
+/// (results are identical at every thread count).
 pub fn generate(
     crawl: &Crawl,
-    rc: f64,
+    cfg: &RestoreConfig,
     rng: &mut Xoshiro256pp,
 ) -> Result<GjokaOutput, RestoreError> {
     if crawl.num_queried() == 0 {
@@ -77,11 +80,20 @@ pub fn generate(
     let t2 = std::time::Instant::now();
     let candidates: Vec<(NodeId, NodeId)> = added;
     let candidate_edges = candidates.len();
-    let mut target_c = estimates.clustering.clone();
-    target_c.resize(dv.k_max + 1, 0.0);
-    let mut engine = RewireEngine::new(g, candidates, &target_c);
-    let rewire_stats = engine.run(rc, rng);
-    let graph = engine.into_graph();
+    let (graph, rewire_stats) = if cfg.rewire && candidate_edges > 0 {
+        let mut target_c = estimates.clustering.clone();
+        target_c.resize(dv.k_max + 1, 0.0);
+        crate::run_rewiring(
+            g,
+            candidates,
+            &target_c,
+            cfg.rewiring_coefficient,
+            cfg.threads,
+            rng,
+        )
+    } else {
+        (g, RewireStats::default())
+    };
     let rewire_secs = t2.elapsed().as_secs_f64();
 
     let stats = RestoreStats {
@@ -108,11 +120,18 @@ mod tests {
     use sgr_dk::extract::joint_degree_matrix;
     use sgr_sample::random_walk_until_fraction;
 
+    fn cfg(rc: f64) -> RestoreConfig {
+        RestoreConfig {
+            rewiring_coefficient: rc,
+            ..RestoreConfig::default()
+        }
+    }
+
     fn run(n: usize, frac: f64, seed: u64, rc: f64) -> (Graph, GjokaOutput) {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let g = sgr_gen::holme_kim(n, 4, 0.5, &mut rng).unwrap();
         let crawl = random_walk_until_fraction(&g, frac, &mut rng);
-        let out = generate(&crawl, rc, &mut rng).unwrap();
+        let out = generate(&crawl, &cfg(rc), &mut rng).unwrap();
         (g, out)
     }
 
@@ -153,7 +172,35 @@ mod tests {
     fn empty_crawl_errors() {
         let crawl = Crawl::default();
         let mut rng = Xoshiro256pp::seed_from_u64(4);
-        assert!(generate(&crawl, 10.0, &mut rng).is_err());
+        assert!(generate(&crawl, &cfg(10.0), &mut rng).is_err());
+    }
+
+    #[test]
+    fn threads_knob_never_changes_results() {
+        let run_with = |threads: usize| {
+            let mut rng = Xoshiro256pp::seed_from_u64(9);
+            let g = sgr_gen::holme_kim(500, 4, 0.5, &mut rng).unwrap();
+            let crawl = random_walk_until_fraction(&g, 0.1, &mut rng);
+            let cfg = RestoreConfig {
+                rewiring_coefficient: 10.0,
+                rewire: true,
+                threads,
+            };
+            generate(&crawl, &cfg, &mut rng).unwrap()
+        };
+        let base = run_with(1);
+        for threads in [2, 4] {
+            let r = run_with(threads);
+            assert_eq!(
+                base.graph.edges().collect::<Vec<_>>(),
+                r.graph.edges().collect::<Vec<_>>(),
+                "threads = {threads} changed the generated graph"
+            );
+            assert_eq!(
+                base.stats.rewire_stats.final_distance.to_bits(),
+                r.stats.rewire_stats.final_distance.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -31,9 +31,10 @@ pub mod gjoka;
 pub mod target_dv;
 pub mod target_jdm;
 
+use sgr_dk::rewire::parallel::ParallelRewireEngine;
 use sgr_dk::rewire::{RewireEngine, RewireStats};
 use sgr_estimate::{estimate_all, EstimateError, Estimates};
-use sgr_graph::{CsrGraph, Graph};
+use sgr_graph::{CsrGraph, Graph, NodeId};
 use sgr_sample::{Crawl, Subgraph};
 use sgr_util::Xoshiro256pp;
 
@@ -45,6 +46,12 @@ pub struct RestoreConfig {
     pub rewiring_coefficient: f64,
     /// Set false to stop after Phase 3 (used by ablations).
     pub rewire: bool,
+    /// Rewiring worker threads: `1` (default) runs the sequential
+    /// [`RewireEngine`]; any other value runs the speculative-parallel
+    /// [`ParallelRewireEngine`] with that many workers (`0` = all
+    /// available cores). The engines are seed-for-seed bitwise
+    /// equivalent, so this knob changes wall time only, never results.
+    pub threads: usize,
 }
 
 impl Default for RestoreConfig {
@@ -52,7 +59,31 @@ impl Default for RestoreConfig {
         Self {
             rewiring_coefficient: 500.0,
             rewire: true,
+            threads: 1,
         }
+    }
+}
+
+/// Phase-4 rewiring shared by [`restore`] and [`gjoka::generate`]:
+/// dispatches to the sequential or speculative-parallel engine per
+/// `threads` (see [`RestoreConfig::threads`]; results are identical
+/// either way).
+pub(crate) fn run_rewiring(
+    graph: Graph,
+    candidates: Vec<(NodeId, NodeId)>,
+    target_c: &[f64],
+    rc: f64,
+    threads: usize,
+    rng: &mut Xoshiro256pp,
+) -> (Graph, RewireStats) {
+    if threads == 1 {
+        let mut engine = RewireEngine::new(graph, candidates, target_c);
+        let stats = engine.run(rc, rng);
+        (engine.into_graph(), stats)
+    } else {
+        let mut engine = ParallelRewireEngine::new(graph, candidates, target_c, threads);
+        let stats = engine.run(rc, rng);
+        (engine.into_graph(), stats)
     }
 }
 
@@ -166,9 +197,14 @@ pub fn restore(
     let (graph, rewire_stats) = if cfg.rewire && candidate_edges > 0 {
         let mut target_c = estimates.clustering.clone();
         target_c.resize(dv.k_max + 1, 0.0);
-        let mut engine = RewireEngine::new(built.graph, built.added_edges, &target_c);
-        let stats = engine.run(cfg.rewiring_coefficient, rng);
-        (engine.into_graph(), stats)
+        run_rewiring(
+            built.graph,
+            built.added_edges,
+            &target_c,
+            cfg.rewiring_coefficient,
+            cfg.threads,
+            rng,
+        )
     } else {
         (built.graph, RewireStats::default())
     };
@@ -208,6 +244,7 @@ mod tests {
         let cfg = RestoreConfig {
             rewiring_coefficient: rc,
             rewire: true,
+            threads: 1,
         };
         let restored = restore(&crawl, &cfg, &mut rng).unwrap();
         (g, restored)
@@ -286,6 +323,7 @@ mod tests {
         let cfg = RestoreConfig {
             rewiring_coefficient: 500.0,
             rewire: false,
+            threads: 1,
         };
         let r = restore(&crawl, &cfg, &mut rng).unwrap();
         assert_eq!(r.stats.rewire_stats.attempts, 0);
@@ -300,6 +338,42 @@ mod tests {
             a.graph.edges().collect::<Vec<_>>(),
             b.graph.edges().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn threads_knob_never_changes_results() {
+        // The whole point of the parallel engine's contract: the pipeline
+        // output is a function of the seed alone, not of the thread
+        // count.
+        let run_with = |threads: usize| {
+            let mut rng = Xoshiro256pp::seed_from_u64(8);
+            let g = sgr_gen::holme_kim(500, 4, 0.5, &mut rng).unwrap();
+            let crawl = random_walk_until_fraction(&g, 0.1, &mut rng);
+            let cfg = RestoreConfig {
+                rewiring_coefficient: 10.0,
+                rewire: true,
+                threads,
+            };
+            restore(&crawl, &cfg, &mut rng).unwrap()
+        };
+        let base = run_with(1);
+        for threads in [0, 2, 4] {
+            let r = run_with(threads);
+            assert_eq!(
+                base.graph.edges().collect::<Vec<_>>(),
+                r.graph.edges().collect::<Vec<_>>(),
+                "threads = {threads} changed the restored graph"
+            );
+            assert_eq!(
+                base.stats.rewire_stats.accepted, r.stats.rewire_stats.accepted,
+                "threads = {threads} changed the accepted count"
+            );
+            assert_eq!(
+                base.stats.rewire_stats.final_distance.to_bits(),
+                r.stats.rewire_stats.final_distance.to_bits(),
+                "threads = {threads} changed the final distance"
+            );
+        }
     }
 
     #[test]

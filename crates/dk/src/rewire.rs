@@ -57,14 +57,48 @@
 //! # Per-attempt complexity
 //!
 //! A rejected attempt costs exactly one evaluation: four common-neighbor
-//! scans over the *smaller* endpoint neighborhood each — O(k̄) entries on
-//! average with O(1) effective-adjacency probes, i.e. O(k̄²) work against
-//! the hybrid index's typical sorted-small-vec nodes — plus an O(τ log τ)
-//! fold over the τ ≤ O(k̄) touched nodes. An accepted attempt adds four
-//! scan-free structural toggles and O(1) slot/bucket bookkeeping. The
-//! apply-rollback reference pays the same evaluation cost *plus* eight
-//! mutating toggles (four of them pure waste on rejection) and two hash
-//! maps' worth of allocation per attempt.
+//! scans, each a branchless merge-intersection over the two endpoints'
+//! sorted neighbor slices
+//! ([`sgr_graph::index::MultiplicityIndex::for_each_common`]) — O(d̃_u +
+//! d̃_v) with no hashing or binary search in the typical
+//! both-under-threshold case, falling back to O(1) hash probes against
+//! hub nodes — plus an O(τ log τ) fold over the τ ≤ O(k̄) touched nodes.
+//! An accepted attempt adds four scan-free structural toggles and O(1)
+//! slot/bucket bookkeeping. The apply-rollback reference pays an
+//! iterate-and-probe evaluation *plus* eight mutating toggles (four of
+//! them pure waste on rejection) and two hash maps' worth of allocation
+//! per attempt.
+//!
+//! # Determinism model
+//!
+//! Three engines produce **bitwise-identical** results for the same seed:
+//! the apply-rollback reference, the sequential [`RewireEngine`], and the
+//! speculative [`parallel::ParallelRewireEngine`] at every thread count.
+//! The contract rests on three pillars:
+//!
+//! 1. **One RNG stream, drawn in attempt order.** Every candidate pick
+//!    flows through `EngineCore::pick_swap` against the current
+//!    committed state; no engine consumes draws any other engine would
+//!    not.
+//! 2. **Integer evaluation.** A swap's effect is a set of per-node
+//!    triangle deltas `Δt_i` — exact `i64`s, so the *order* in which a
+//!    scan discovers common neighbors is irrelevant. Engines are free to
+//!    iterate, merge-intersect, or farm scans out to worker threads; the
+//!    node-sorted `(node, Δt)` list that feeds the decision is identical.
+//! 3. **One float fold.** Only `EngineCore::fold_decide` touches floating
+//!    point, always executed on the coordinating thread with node-sorted
+//!    input, so accept/reject decisions — and therefore the distance
+//!    trajectory — are bit-for-bit reproducible.
+//!
+//! The parallel engine adds **draw-order commit with conflict replay** on
+//! top: a coordinator pre-draws a block of picks, workers evaluate them
+//! read-only against the block-start snapshot, and commits happen
+//! strictly in draw order. The first in-block commit invalidates the
+//! speculative RNG tail, so the coordinator re-draws subsequent picks
+//! from a per-pick checkpoint; a speculative evaluation is reused only
+//! when the replayed pick is identical *and* none of its four endpoints
+//! is in the stamped dirty-node set of already-committed swaps (see
+//! [`mod@parallel`] for the full argument).
 
 use sgr_graph::index::MultiplicityIndex;
 use sgr_graph::{Graph, NodeId};
@@ -72,6 +106,7 @@ use sgr_props::triangles::triangle_counts_with_index;
 use sgr_util::scratch::ScratchAccum;
 use sgr_util::{FxHashMap, Xoshiro256pp};
 
+pub mod parallel;
 pub mod reference;
 
 /// Statistics from a rewiring run.
@@ -92,7 +127,11 @@ pub struct RewireStats {
 
 /// One picked (and structurally valid) swap: slots `e1`/`e2` with the
 /// chosen orientations, and the four endpoint nodes.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` is how the parallel engine validates a speculative pick
+/// after an in-block commit: the pick is re-drawn from its RNG checkpoint
+/// against the updated state and compared field-for-field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct SwapPick {
     e1: u32,
     side1: u8,
@@ -532,21 +571,9 @@ impl RewireEngine {
         };
 
         // --- Evaluate: predict every Δt_i by read-only scans.
-        self.scratch_t.begin();
-        let mut pending = PendingDeltas::default();
-        let specials = [pick.vi, pick.vj, pick.vi2, pick.vj2];
-        self.eval_toggle(pick.vi, pick.vj, -1, &mut pending, &specials);
-        self.eval_toggle(pick.vi2, pick.vj2, -1, &mut pending, &specials);
-        self.eval_toggle(pick.vi, pick.vj2, 1, &mut pending, &specials);
-        self.eval_toggle(pick.vi2, pick.vj, 1, &mut pending, &specials);
+        evaluate_swap(&self.core, &pick, &mut self.scratch_t, &mut self.pairs);
 
         // --- Decide: fold node-sorted deltas into a predicted distance.
-        self.scratch_t.sort_touched();
-        self.pairs.clear();
-        for i in 0..self.scratch_t.touched().len() {
-            let node = self.scratch_t.touched()[i];
-            self.pairs.push((node, self.scratch_t.get(node)));
-        }
         let new_raw = self.core.fold_decide(&self.pairs, &mut self.scratch_s);
 
         if new_raw < self.core.dist_raw {
@@ -566,94 +593,6 @@ impl RewireEngine {
         }
     }
 
-    /// Emulates one edge toggle (`sign = ±1` copy of `{u, v}`) against the
-    /// effective adjacency (index ⊕ pending deltas), accumulating triangle
-    /// deltas into `scratch_t`. Mirrors the reference's mutating
-    /// `toggle_edge` exactly: removals are scanned on the state *without*
-    /// the removed copy, additions likewise.
-    fn eval_toggle(
-        &mut self,
-        u: NodeId,
-        v: NodeId,
-        sign: i64,
-        pending: &mut PendingDeltas,
-        specials: &[NodeId; 4],
-    ) {
-        if u == v {
-            // A self-loop slot being dissolved (or, never in practice,
-            // created): loops take part in no triangle.
-            pending.add(u, u, if sign < 0 { -2 } else { 2 });
-            return;
-        }
-        if sign < 0 {
-            pending.add(u, v, -1);
-        }
-        // Common-neighbor scan on the state without the toggled copy.
-        // Iterate the endpoint with the smaller degree — O(1) via the
-        // invariant deg[] (degrees never change under equal-degree swaps).
-        let (x, y) = if self.core.deg[u as usize] <= self.core.deg[v as usize] {
-            (u, v)
-        } else {
-            (v, u)
-        };
-        // Pending deltas only involve the swap's four endpoints, so for
-        // any common neighbor w outside {o0, o1} (the two endpoints not
-        // on this edge) the raw index values are already effective —
-        // that fast path skips the pending probes entirely.
-        let mut o = [u; 2];
-        let mut no = 0usize;
-        for &s in specials {
-            if s != u && s != v && !o[..no].contains(&s) {
-                o[no] = s;
-                no += 1;
-            }
-        }
-        let (o0, o1) = (o[0], o[no.min(1)]);
-        let mut common = 0i64;
-        for (w, raw_xw) in self.core.idx.entries(x) {
-            if w == u || w == v {
-                continue;
-            }
-            let prod = if w == o0 || w == o1 {
-                let a_xw = raw_xw as i64 + pending.delta(x, w) as i64;
-                if a_xw <= 0 {
-                    continue;
-                }
-                let a_yw = self.core.idx.get(y, w) as i64 + pending.delta(y, w) as i64;
-                if a_yw <= 0 {
-                    continue;
-                }
-                a_xw * a_yw
-            } else {
-                let a_yw = self.core.idx.get(y, w) as i64;
-                if a_yw == 0 {
-                    continue;
-                }
-                raw_xw as i64 * a_yw
-            };
-            common += prod;
-            self.scratch_t.add(w, sign * prod);
-        }
-        // Neighbors of x that exist only as pending additions (never in
-        // the index): those can only be among the swap's four endpoints.
-        for &w in &o[..no] {
-            let pd = pending.delta(x, w);
-            if pd > 0 && self.core.idx.get(x, w) == 0 {
-                let a_yw = self.core.idx.get(y, w) as i64 + pending.delta(y, w) as i64;
-                if a_yw > 0 {
-                    let prod = pd as i64 * a_yw;
-                    common += prod;
-                    self.scratch_t.add(w, sign * prod);
-                }
-            }
-        }
-        self.scratch_t.add(u, sign * common);
-        self.scratch_t.add(v, sign * common);
-        if sign > 0 {
-            pending.add(u, v, 1);
-        }
-    }
-
     /// Releases the rewired graph.
     pub fn into_graph(self) -> Graph {
         self.core.graph
@@ -663,6 +602,143 @@ impl RewireEngine {
     /// quantity from scratch and compares.
     pub fn validate(&self) -> Result<(), String> {
         self.core.validate()
+    }
+}
+
+/// Evaluates `pick` **read-only** against `core`: emulates the four edge
+/// toggles, accumulating per-node triangle deltas into `scratch_t`, and
+/// leaves the node-sorted `(node, Δt)` list in `pairs`, ready for
+/// `EngineCore::fold_decide`.
+///
+/// Shared verbatim by the sequential engine and the parallel engine's
+/// workers — evaluation touches no engine state beyond the two scratch
+/// buffers, so any thread holding `&EngineCore` can run it.
+pub(crate) fn evaluate_swap(
+    core: &EngineCore,
+    pick: &SwapPick,
+    scratch_t: &mut ScratchAccum<i64>,
+    pairs: &mut Vec<(NodeId, i64)>,
+) {
+    scratch_t.begin();
+    let mut pending = PendingDeltas::default();
+    let specials = [pick.vi, pick.vj, pick.vi2, pick.vj2];
+    eval_toggle(
+        core,
+        scratch_t,
+        pick.vi,
+        pick.vj,
+        -1,
+        &mut pending,
+        &specials,
+    );
+    eval_toggle(
+        core,
+        scratch_t,
+        pick.vi2,
+        pick.vj2,
+        -1,
+        &mut pending,
+        &specials,
+    );
+    eval_toggle(
+        core,
+        scratch_t,
+        pick.vi,
+        pick.vj2,
+        1,
+        &mut pending,
+        &specials,
+    );
+    eval_toggle(
+        core,
+        scratch_t,
+        pick.vi2,
+        pick.vj,
+        1,
+        &mut pending,
+        &specials,
+    );
+    scratch_t.sort_touched();
+    pairs.clear();
+    for i in 0..scratch_t.touched().len() {
+        let node = scratch_t.touched()[i];
+        pairs.push((node, scratch_t.get(node)));
+    }
+}
+
+/// Emulates one edge toggle (`sign = ±1` copy of `{u, v}`) against the
+/// effective adjacency (index ⊕ pending deltas), accumulating triangle
+/// deltas into `scratch_t`. Mirrors the reference's mutating
+/// `toggle_edge` exactly: removals are scanned on the state *without*
+/// the removed copy, additions likewise.
+///
+/// Pending deltas only ever involve the swap's four endpoints, so the
+/// scan splits into a **fast path** — the branchless merge-intersection
+/// of the two raw neighbor slices
+/// ([`MultiplicityIndex::for_each_common`]), which needs no pending
+/// probes at all — and a ≤2-node **special path** for the endpoints not
+/// on this edge, probed under the effective adjacency on both sides
+/// (covering neighbors that exist only as pending additions). Every
+/// contribution is an exact integer, so the split changes nothing about
+/// the resulting deltas.
+fn eval_toggle(
+    core: &EngineCore,
+    scratch_t: &mut ScratchAccum<i64>,
+    u: NodeId,
+    v: NodeId,
+    sign: i64,
+    pending: &mut PendingDeltas,
+    specials: &[NodeId; 4],
+) {
+    if u == v {
+        // A self-loop slot being dissolved (or, never in practice,
+        // created): loops take part in no triangle.
+        pending.add(u, u, if sign < 0 { -2 } else { 2 });
+        return;
+    }
+    if sign < 0 {
+        pending.add(u, v, -1);
+    }
+    // The swap's endpoints not on this edge — the only nodes whose
+    // adjacency to u/v can be shifted by pending deltas.
+    let mut o = [u; 2];
+    let mut no = 0usize;
+    for &s in specials {
+        if s != u && s != v && !o[..no].contains(&s) {
+            o[no] = s;
+            no += 1;
+        }
+    }
+    let (o0, o1) = (o[0], o[no.min(1)]);
+    let mut common = 0i64;
+    // Fast path: raw common neighbors of u and v, excluding the toggled
+    // pair itself and the special nodes (handled below).
+    core.idx.for_each_common(u, v, |w, a_uw, a_vw| {
+        if w == u || w == v || w == o0 || w == o1 {
+            return;
+        }
+        let prod = a_uw as i64 * a_vw as i64;
+        common += prod;
+        scratch_t.add(w, sign * prod);
+    });
+    // Special path: effective adjacency (raw ⊕ pending) on both sides.
+    for &w in &o[..no] {
+        let a_uw = core.idx.get(u, w) as i64 + pending.delta(u, w) as i64;
+        if a_uw <= 0 {
+            continue;
+        }
+        let a_vw = core.idx.get(v, w) as i64 + pending.delta(v, w) as i64;
+        if a_vw <= 0 {
+            continue;
+        }
+        let prod = a_uw * a_vw;
+        common += prod;
+        scratch_t.add(w, sign * prod);
+    }
+    scratch_t.add(u, sign * common);
+    scratch_t.add(v, sign * common);
+    if sign > 0 {
+        pending.add(u, v, 1);
     }
 }
 

@@ -1,0 +1,455 @@
+//! Speculative-parallel rewiring: batched draw, multi-worker read-only
+//! evaluation, draw-order commit with conflict replay.
+//!
+//! `BENCH_rewire.json` shows the production regime of §IV-E rewiring:
+//! fewer than 1% of swap attempts are accepted, and PR 1 made every
+//! rejected attempt a pure **read-only** evaluation. Read-only work
+//! scales across threads; the rare accepts are what must stay sequential
+//! to preserve the engine contract. [`ParallelRewireEngine`] exploits
+//! exactly that split while remaining **bitwise-identical** to the
+//! sequential [`RewireEngine`](crate::rewire::RewireEngine) — same final
+//! graph, same accepted count, same distance trajectory — for the same
+//! seed at every thread count.
+//!
+//! # Block pipeline
+//!
+//! Each block of `B` attempts runs three phases:
+//!
+//! 1. **Speculative draw (coordinator).** `B` candidate picks are drawn
+//!    from the *sequential* RNG stream against the current committed
+//!    state, saving a pre-draw RNG checkpoint per pick.
+//! 2. **Evaluation (workers).** The picks are split into contiguous
+//!    chunks across `std::thread::scope` workers (the `betweenness.rs`
+//!    pattern). Each worker runs the engines' shared read-only
+//!    `evaluate_swap` against the block-start snapshot, accumulating
+//!    triangle deltas in its own epoch-stamped
+//!    [`ScratchAccum`] arena from a
+//!    [`ScratchPool`], and leaves the
+//!    node-sorted `(node, Δt)` list in a per-pick result buffer. Workers
+//!    never touch shared state, and steady-state evaluation performs no
+//!    heap allocation.
+//! 3. **Commit scan (coordinator).** Picks are decided **in draw order**
+//!    through the same `EngineCore::fold_decide` float fold the
+//!    sequential engine uses, and accepted swaps are committed
+//!    immediately.
+//!
+//! # Conflict replay
+//!
+//! A commit invalidates two kinds of speculation behind it:
+//!
+//! * **The RNG tail.** `pick_swap`'s draw *count* and bucket bounds
+//!   depend on slot contents (bucket lengths are invariant — commits
+//!   swap entries between buckets in place — but an affected slot can
+//!   change which bucket the third draw reads). After the first in-block
+//!   commit the coordinator therefore re-draws every subsequent pick
+//!   from its checkpoint (`replay`), which by construction consumes the
+//!   exact draws the sequential engine would; the block ends with the
+//!   caller's RNG in the sequential stream position.
+//! * **Evaluations near the swap.** A committed swap changes adjacency
+//!   only among its four endpoints, and an evaluation reads only the
+//!   adjacency rows of *its* four endpoints. Commits mark their
+//!   endpoints in a stamped dirty-node set
+//!   ([`DirtyStampSet`]); a
+//!   speculative result is reused iff the replayed pick is identical to
+//!   the speculative one **and** none of its endpoints is dirty.
+//!   Otherwise the coordinator discards it and re-evaluates inline
+//!   against the current state.
+//!
+//! Together with the module-level determinism model (integer Δt, one
+//! float fold on one thread, one RNG stream) this yields a simple
+//! induction: before every attempt `i`, the (RNG state, engine state)
+//! pair equals the sequential engine's, and speculative shortcuts are
+//! taken only when provably equal to re-execution. In the reject-heavy
+//! tail almost every block commits nothing, so the whole block's
+//! evaluations are consumed with zero replay.
+
+use super::{apply_structural, evaluate_swap, EngineCore, RewireStats, SwapPick};
+use sgr_graph::{Graph, NodeId};
+use sgr_util::scratch::{DirtyStampSet, ScratchAccum, ScratchPool};
+use sgr_util::Xoshiro256pp;
+
+/// Default picks per speculation block. Large enough to amortize the
+/// per-block scoped-thread spawn, small enough that an early-phase
+/// commit does not stall a long evaluated tail into replay.
+pub const DEFAULT_BLOCK: usize = 1024;
+
+/// Initial per-pick result-buffer capacity; buffers grow amortized on
+/// the rare evaluation that touches more nodes.
+const RESULT_CAP: usize = 64;
+
+/// The speculative-parallel rewiring engine; see the module docs.
+///
+/// Drop-in equivalent of [`RewireEngine`](crate::rewire::RewireEngine):
+/// same constructor shape plus a thread count, bitwise-identical
+/// results.
+pub struct ParallelRewireEngine {
+    core: EngineCore,
+    threads: usize,
+    block: usize,
+    /// Speculative picks of the current block, in draw order.
+    picks: Vec<Option<SwapPick>>,
+    /// RNG state snapshot taken immediately before each pick's draws.
+    rng_before: Vec<Xoshiro256pp>,
+    /// Node-sorted `(node, Δt)` evaluation result per pick.
+    results: Vec<Vec<(NodeId, i64)>>,
+    /// One triangle-delta arena per worker.
+    pool: ScratchPool<i64>,
+    /// Coordinator-side arena for inline re-evaluations after conflicts.
+    repair_t: ScratchAccum<i64>,
+    repair_pairs: Vec<(NodeId, i64)>,
+    /// Per-degree predicted sums for the shared decision fold.
+    scratch_s: ScratchAccum<f64>,
+    /// Endpoints of swaps committed in the current block.
+    dirty: DirtyStampSet,
+}
+
+impl ParallelRewireEngine {
+    /// Creates an engine over `graph` with rewirable edge multiset
+    /// `candidates` and target clustering `target_c`, evaluating with
+    /// `threads` workers (`0` = all available cores).
+    ///
+    /// Argument semantics match
+    /// [`RewireEngine::new`](crate::rewire::RewireEngine::new).
+    pub fn new(
+        graph: Graph,
+        candidates: Vec<(NodeId, NodeId)>,
+        target_c: &[f64],
+        threads: usize,
+    ) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let core = EngineCore::new(graph, candidates, target_c);
+        let n = core.graph.num_nodes();
+        let degrees = core.s.len();
+        let mut engine = Self {
+            core,
+            threads,
+            block: 0,
+            picks: Vec::new(),
+            rng_before: Vec::new(),
+            results: Vec::new(),
+            pool: ScratchPool::new(threads, n),
+            repair_t: ScratchAccum::with_keys(n),
+            repair_pairs: Vec::with_capacity(n),
+            scratch_s: ScratchAccum::with_keys(degrees),
+            dirty: DirtyStampSet::with_keys(n),
+        };
+        engine.set_block_size(DEFAULT_BLOCK);
+        engine
+    }
+
+    /// Sets the speculation block size (picks drawn per round); builder
+    /// form. Exposed for tests (tiny blocks force the replay machinery)
+    /// and tuning; results are identical at any value ≥ 1.
+    pub fn with_block_size(mut self, block: usize) -> Self {
+        self.set_block_size(block);
+        self
+    }
+
+    fn set_block_size(&mut self, block: usize) {
+        let block = block.max(1);
+        self.block = block;
+        self.picks.resize(block, None);
+        self.rng_before
+            .resize(block, Xoshiro256pp::seed_from_u64(0));
+        self.results
+            .resize_with(block, || Vec::with_capacity(RESULT_CAP));
+    }
+
+    /// Worker-thread count in use.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Current speculation block size.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+
+    /// Current normalized distance `D`.
+    pub fn distance(&self) -> f64 {
+        self.core.distance()
+    }
+
+    /// Number of rewirable edge slots `|Ẽ_rew|`.
+    pub fn num_candidates(&self) -> usize {
+        self.core.slots.len()
+    }
+
+    /// Current `c̄(k)` of the evolving graph.
+    pub fn current_clustering(&self) -> Vec<f64> {
+        self.core.current_clustering()
+    }
+
+    /// Runs `R = ceil(rc · |Ẽ_rew|)` attempts (§IV-E).
+    pub fn run(&mut self, rc: f64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let attempts = (rc * self.core.slots.len() as f64).ceil() as u64;
+        self.run_attempts(attempts, rng)
+    }
+
+    /// Runs exactly `attempts` swap attempts in speculation blocks.
+    pub fn run_attempts(&mut self, attempts: u64, rng: &mut Xoshiro256pp) -> RewireStats {
+        let mut stats = RewireStats {
+            attempts,
+            initial_distance: self.distance(),
+            ..Default::default()
+        };
+        if self.core.slots.len() < 2 {
+            stats.skipped = attempts;
+            stats.final_distance = self.distance();
+            return stats;
+        }
+        let mut done = 0u64;
+        while done < attempts {
+            let b = (attempts - done).min(self.block as u64) as usize;
+            self.run_block(b, rng, &mut stats);
+            done += b as u64;
+        }
+        stats.final_distance = self.distance();
+        stats
+    }
+
+    /// One speculation block of `b ≤ self.block` attempts.
+    fn run_block(&mut self, b: usize, rng: &mut Xoshiro256pp, stats: &mut RewireStats) {
+        // --- Phase 1: speculative draws on the sequential stream.
+        for i in 0..b {
+            self.rng_before[i] = rng.clone();
+            self.picks[i] = self.core.pick_swap(rng);
+        }
+
+        // --- Phase 2: read-only evaluation across workers.
+        self.evaluate_block(b);
+
+        // --- Phase 3: draw-order commit with conflict replay. `cursor`
+        // is `None` while the block is commit-free (speculation exact);
+        // after the first commit it carries the authoritative sequential
+        // RNG stream.
+        self.dirty.clear();
+        let mut cursor: Option<Xoshiro256pp> = None;
+        for i in 0..b {
+            let (pick, spec_ok) = match cursor.as_mut() {
+                None => (self.picks[i], true),
+                Some(cur) => {
+                    let p = self.core.pick_swap(cur);
+                    (p, p == self.picks[i])
+                }
+            };
+            let Some(p) = pick else {
+                stats.skipped += 1;
+                continue;
+            };
+            let endpoints = [p.vi, p.vj, p.vi2, p.vj2];
+            let clean = endpoints.iter().all(|&x| !self.dirty.contains(x));
+            let pairs: &[(NodeId, i64)] = if spec_ok && clean {
+                &self.results[i]
+            } else {
+                // Conflict (or replayed pick diverged): discard the
+                // speculative result and re-evaluate inline against the
+                // current committed state.
+                evaluate_swap(&self.core, &p, &mut self.repair_t, &mut self.repair_pairs);
+                &self.repair_pairs
+            };
+            let new_raw = self.core.fold_decide(pairs, &mut self.scratch_s);
+            if new_raw < self.core.dist_raw {
+                self.core.commit_decision(pairs, &self.scratch_s, new_raw);
+                apply_structural(&mut self.core, p.vi, p.vj, -1);
+                apply_structural(&mut self.core, p.vi2, p.vj2, -1);
+                apply_structural(&mut self.core, p.vi, p.vj2, 1);
+                apply_structural(&mut self.core, p.vi2, p.vj, 1);
+                self.core.commit_slot_swap(&p);
+                for &x in &endpoints {
+                    self.dirty.mark(x);
+                }
+                if cursor.is_none() {
+                    // The sequential stream position after this pick's
+                    // draws: the next pick's checkpoint, or — for the
+                    // block's last pick — the phase-1 end state.
+                    cursor = Some(if i + 1 < b {
+                        self.rng_before[i + 1].clone()
+                    } else {
+                        rng.clone()
+                    });
+                }
+                stats.accepted += 1;
+            } else {
+                stats.skipped += 1;
+            }
+        }
+        if let Some(cur) = cursor {
+            *rng = cur;
+        }
+    }
+
+    /// Phase 2: evaluates every `Some` pick of the block read-only into
+    /// its result buffer. With one thread the coordinator runs inline
+    /// (no spawn); otherwise picks are chunked contiguously across
+    /// scoped workers, one pool arena each.
+    fn evaluate_block(&mut self, b: usize) {
+        let picks = &self.picks[..b];
+        let results = &mut self.results[..b];
+        let core = &self.core;
+        if self.threads <= 1 {
+            let arena = &mut self.pool.arenas_mut()[0];
+            for (pick, out) in picks.iter().zip(results.iter_mut()) {
+                match pick {
+                    Some(p) => evaluate_swap(core, p, arena, out),
+                    None => out.clear(),
+                }
+            }
+            return;
+        }
+        let chunk = b.div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            for ((picks_c, results_c), arena) in picks
+                .chunks(chunk)
+                .zip(results.chunks_mut(chunk))
+                .zip(self.pool.arenas_mut().iter_mut())
+            {
+                scope.spawn(move || {
+                    for (pick, out) in picks_c.iter().zip(results_c.iter_mut()) {
+                        match pick {
+                            Some(p) => evaluate_swap(core, p, arena, out),
+                            None => out.clear(),
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Releases the rewired graph.
+    pub fn into_graph(self) -> Graph {
+        self.core.graph
+    }
+
+    /// Consistency check used by tests: recomputes every maintained
+    /// quantity from scratch and compares.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewire::RewireEngine;
+    use sgr_props::local::LocalProperties;
+
+    fn social(seed: u64) -> Graph {
+        sgr_gen::holme_kim(250, 3, 0.6, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap()
+    }
+
+    fn sorted_edges(g: &Graph) -> Vec<(NodeId, NodeId)> {
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        e
+    }
+
+    /// Sequential and parallel engines, same seed: distances compared
+    /// bitwise after every chunk, final edge multisets exactly.
+    fn assert_matches_sequential(
+        g: Graph,
+        target: &[f64],
+        seed: u64,
+        threads: usize,
+        block: usize,
+        chunks: &[u64],
+    ) {
+        let edges: Vec<_> = g.edges().collect();
+        let mut seq = RewireEngine::new(g.clone(), edges.clone(), target);
+        let mut par = ParallelRewireEngine::new(g, edges, target, threads).with_block_size(block);
+        let mut rng_s = Xoshiro256pp::seed_from_u64(seed);
+        let mut rng_p = Xoshiro256pp::seed_from_u64(seed);
+        for (c, &n) in chunks.iter().enumerate() {
+            let ss = seq.run_attempts(n, &mut rng_s);
+            let sp = par.run_attempts(n, &mut rng_p);
+            assert_eq!(ss.accepted, sp.accepted, "accepted diverged at chunk {c}");
+            assert_eq!(ss.skipped, sp.skipped, "skipped diverged at chunk {c}");
+            assert_eq!(
+                seq.distance().to_bits(),
+                par.distance().to_bits(),
+                "distance diverged at chunk {c}: {} vs {}",
+                seq.distance(),
+                par.distance()
+            );
+        }
+        par.validate().unwrap();
+        assert_eq!(
+            sorted_edges(&seq.into_graph()),
+            sorted_edges(&par.into_graph()),
+            "edge multisets diverged"
+        );
+    }
+
+    #[test]
+    fn matches_sequential_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let g = social(1);
+            let props = LocalProperties::compute(&g);
+            let target: Vec<f64> = props
+                .clustering_by_degree
+                .iter()
+                .map(|&c| c * 0.5)
+                .collect();
+            assert_matches_sequential(g, &target, 42, threads, DEFAULT_BLOCK, &[1500, 700, 801]);
+        }
+    }
+
+    #[test]
+    fn tiny_blocks_force_replay_and_still_match() {
+        // Zero-clustering target accepts aggressively early on, so with
+        // block sizes this small nearly every block replays its tail.
+        let g = social(2);
+        let target = vec![0.0; g.max_degree() + 1];
+        for block in [1, 2, 3, 7] {
+            assert_matches_sequential(g.clone(), &target, 7, 2, block, &[900, 350]);
+        }
+    }
+
+    #[test]
+    fn attempts_not_divisible_by_block() {
+        let g = social(3);
+        let target = vec![0.0; g.max_degree() + 1];
+        assert_matches_sequential(g, &target, 9, 2, 64, &[1, 63, 64, 129, 500]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let g = social(4);
+        let target = vec![0.0; g.max_degree() + 1];
+        let edges: Vec<_> = g.edges().collect();
+        let eng = ParallelRewireEngine::new(g, edges, &target, 0);
+        assert!(eng.num_threads() >= 1);
+        assert_eq!(eng.block_size(), DEFAULT_BLOCK);
+    }
+
+    #[test]
+    fn no_candidates_is_a_noop() {
+        let g = social(5);
+        let before = sorted_edges(&g);
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = ParallelRewireEngine::new(g, Vec::new(), &target, 4);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let stats = eng.run(500.0, &mut rng);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(sorted_edges(&eng.into_graph()), before);
+    }
+
+    #[test]
+    fn run_scales_attempts_by_rc() {
+        let g = social(6);
+        let m = g.num_edges() as u64;
+        let edges: Vec<_> = g.edges().collect();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = ParallelRewireEngine::new(g, edges, &target, 2);
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let stats = eng.run(2.0, &mut rng);
+        assert_eq!(stats.attempts, 2 * m);
+        assert_eq!(stats.accepted + stats.skipped, 2 * m);
+    }
+}

@@ -22,8 +22,24 @@
 //!
 //! [`Estimates`] bundles all five; [`estimate_all`] computes them in one
 //! pass over the walk.
+//!
+//! # Scratch reuse
+//!
+//! The accumulator-heavy estimators (the size estimator's observed-node
+//! fallback, the JDD's IE/TE tallies) run on reusable epoch-stamped
+//! arenas from [`sgr_util::scratch`] instead of per-call hash
+//! sets/maps, the same discipline the rewiring engine and the property
+//! kernels follow. [`EstimateScratch`] owns the arenas;
+//! [`estimate_all_with`] (and the `_with` variants of the individual
+//! estimators) share one across calls, so repeated estimation — the
+//! experiment harness re-estimates per run — performs no steady-state
+//! accumulator allocations. The plain entry points allocate a fresh
+//! scratch internally and are unchanged in behavior: results are
+//! bitwise-identical to the hash-map implementation because every
+//! per-key accumulation order is preserved.
 
 use sgr_sample::Crawl;
+use sgr_util::scratch::{DirtyStampSet, ScratchAccum};
 use sgr_util::{FxHashMap, FxHashSet};
 
 /// Errors from the estimators.
@@ -49,6 +65,36 @@ impl std::error::Error for EstimateError {}
 /// The fraction of the walk length used as the collision-pair gap
 /// threshold `M` (the paper follows Hardiman & Katzir and uses `0.025 r`).
 pub const PAIR_GAP_FRACTION: f64 = 0.025;
+
+/// Ceiling on the dense rank-pair key space of the JDD accumulators
+/// (2M keys ≈ 25 MB of arena). Walks whose distinct-degree count squared
+/// exceeds this fall back to hash-map accumulation — same values, just
+/// without the dense-arena speed.
+const MAX_DENSE_PAIR_KEYS: usize = 1 << 21;
+
+/// Reusable epoch-stamped scratch for the estimators; see the module
+/// docs. One instance serves any number of walks — arenas grow to the
+/// largest walk seen and are O(1)-cleared per call.
+#[derive(Debug, Default)]
+pub struct EstimateScratch {
+    /// Observed-node marks (size-estimator collision-free fallback).
+    observed: DirtyStampSet,
+    /// Walk degree → dense rank, assigned in first-visit order.
+    rank_of: ScratchAccum<u32>,
+    /// Inverse of `rank_of`: rank → degree.
+    degree_by_rank: Vec<u32>,
+    /// Induced-edge tallies keyed by packed rank pair.
+    ie: ScratchAccum<f64>,
+    /// Traversed-edge tallies keyed by packed rank pair.
+    te: ScratchAccum<f64>,
+}
+
+impl EstimateScratch {
+    /// Creates an empty scratch; arenas are sized lazily per walk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The bundle of all five local-property estimates the restoration
 /// pipeline consumes.
@@ -118,6 +164,14 @@ fn num_gap_pairs(r: usize, m: usize) -> u64 {
 /// lower bound, which keeps short-walk pipelines total. Errors only when
 /// the walk is empty.
 pub fn estimate_num_nodes(crawl: &Crawl) -> Result<f64, EstimateError> {
+    estimate_num_nodes_with(crawl, &mut EstimateScratch::new())
+}
+
+/// As [`estimate_num_nodes`], reusing the caller's scratch arenas.
+pub fn estimate_num_nodes_with(
+    crawl: &Crawl,
+    scratch: &mut EstimateScratch,
+) -> Result<f64, EstimateError> {
     let r = crawl.len();
     if r == 0 {
         return Err(EstimateError::WalkTooShort { len: 0, need: 1 });
@@ -158,13 +212,23 @@ pub fn estimate_num_nodes(crawl: &Crawl) -> Result<f64, EstimateError> {
     }
     let collisions = collisions * 2; // ordered
     if collisions == 0 {
-        // Fallback: the number of distinct observed nodes.
-        let mut observed: FxHashSet<u32> = FxHashSet::default();
+        // Fallback: the number of distinct observed nodes, counted with
+        // the reusable stamped mark set (no per-call hash set).
+        let max_id = crawl
+            .neighbors
+            .iter()
+            .flat_map(|(&q, ns)| std::iter::once(q).chain(ns.iter().copied()))
+            .max()
+            .unwrap_or(0);
+        scratch.observed.ensure_keys(max_id as usize + 1);
+        scratch.observed.clear();
         for (&q, ns) in crawl.neighbors.iter() {
-            observed.insert(q);
-            observed.extend(ns.iter().copied());
+            scratch.observed.mark(q);
+            for &v in ns {
+                scratch.observed.mark(v);
+            }
         }
-        return Ok(observed.len() as f64);
+        return Ok(scratch.observed.len() as f64);
     }
     Ok(numerator / collisions as f64)
 }
@@ -215,23 +279,68 @@ pub fn estimate_degree_distribution(crawl: &Crawl) -> Result<Vec<f64>, EstimateE
 /// Needs `r ≥ 2` (TE uses consecutive pairs) and uses the same gap
 /// threshold `M` as the size estimator for IE pairs.
 pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, EstimateError> {
+    estimate_jdd_with(crawl, &mut EstimateScratch::new())
+}
+
+/// As [`estimate_jdd`], reusing the caller's scratch arenas.
+///
+/// The IE/TE tallies accumulate in dense epoch-stamped arenas keyed by
+/// *degree rank* (walk degrees remapped to `0..num_ranks` in first-visit
+/// order), so the key space is `num_ranks²` — a few thousand entries for
+/// a social-graph walk — instead of `k_max²`. Walks with so many
+/// distinct degrees that `num_ranks²` exceeds `MAX_DENSE_PAIR_KEYS`
+/// take a hash-map fallback with identical results.
+pub fn estimate_jdd_with(
+    crawl: &Crawl,
+    scratch: &mut EstimateScratch,
+) -> Result<FxHashMap<(u32, u32), f64>, EstimateError> {
     let r = crawl.len();
     if r < 2 {
         return Err(EstimateError::WalkTooShort { len: r, need: 2 });
     }
-    let n_hat = estimate_num_nodes(crawl)?;
+    let n_hat = estimate_num_nodes_with(crawl, scratch)?;
     let k_hat = estimate_average_degree(crawl)?;
     let m = pair_gap(r);
     let num_pairs = num_gap_pairs(r, m);
 
-    // --- IE: Φ(k,k') = 1/(k k' |I|) Σ_{(i,j)∈I} 1{d=k, d=k'} A_{x_i x_j}.
-    // Iterate positions i; for each neighbor u of x_i that appears in the
-    // walk, count positions j of u with |i - j| >= M by binary search.
     let mut positions: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
     for (i, &x) in crawl.seq.iter().enumerate() {
         positions.entry(x).or_default().push(i);
     }
-    let mut ie_raw: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+
+    // Degree ranks in first-visit order. Every degree the IE/TE loops
+    // see belongs to a *walked* node (IE's neighbor endpoint is looked
+    // up through `positions`), so ranking the step degrees covers all.
+    let k_max_walk = (0..r).map(|i| crawl.degree_of_step(i)).max().unwrap_or(0);
+    scratch.rank_of.ensure_keys(k_max_walk + 1);
+    scratch.rank_of.begin();
+    scratch.degree_by_rank.clear();
+    for i in 0..r {
+        let d = crawl.degree_of_step(i) as u32;
+        if !scratch.rank_of.is_touched(d) {
+            let rank = scratch.degree_by_rank.len() as u32;
+            *scratch.rank_of.entry_or(d, rank) = rank;
+            scratch.degree_by_rank.push(d);
+        }
+    }
+    let nr = scratch.degree_by_rank.len();
+    if nr.saturating_mul(nr) > MAX_DENSE_PAIR_KEYS {
+        return jdd_hybrid_hashed(crawl, n_hat, k_hat, m, num_pairs, &positions);
+    }
+    let EstimateScratch {
+        rank_of,
+        degree_by_rank,
+        ie,
+        te,
+        ..
+    } = scratch;
+    let pair_key = |k: u32, k2: u32| rank_of.get(k) * nr as u32 + rank_of.get(k2);
+
+    // --- IE: Φ(k,k') = 1/(k k' |I|) Σ_{(i,j)∈I} 1{d=k, d=k'} A_{x_i x_j}.
+    // Iterate positions i; for each neighbor u of x_i that appears in the
+    // walk, count positions j of u with |i - j| >= M by binary search.
+    ie.ensure_keys(nr * nr);
+    ie.begin();
     if num_pairs > 0 {
         for (i, &x) in crawl.seq.iter().enumerate() {
             let k = crawl.degree_of_step(i) as u32;
@@ -245,13 +354,86 @@ pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, Estimat
                 let cnt = (left + right) as f64;
                 if cnt > 0.0 {
                     let k2 = crawl.neighbors_of(u).len() as u32;
-                    *ie_raw.entry((k, k2)).or_insert(0.0) += cnt;
+                    *ie.entry_or(pair_key(k, k2), 0.0) += cnt;
                 }
             }
         }
     }
 
     // --- TE: consecutive pairs, both orientations.
+    te.ensure_keys(nr * nr);
+    te.begin();
+    let te_norm = 1.0 / (2.0 * (r as f64 - 1.0));
+    for i in 0..r - 1 {
+        let k = crawl.degree_of_step(i) as u32;
+        let k2 = crawl.degree_of_step(i + 1) as u32;
+        *te.entry_or(pair_key(k, k2), 0.0) += te_norm;
+        *te.entry_or(pair_key(k2, k), 0.0) += te_norm;
+    }
+
+    // --- Hybrid with threshold 2 k̄̂.
+    let decode = |key: u32| {
+        (
+            degree_by_rank[key as usize / nr],
+            degree_by_rank[key as usize % nr],
+        )
+    };
+    let mut out: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let threshold = 2.0 * k_hat;
+    if num_pairs > 0 {
+        for &key in ie.touched() {
+            let (k, k2) = decode(key);
+            if (k + k2) as f64 >= threshold {
+                let phi = ie.get(key) / (k as f64 * k2 as f64 * num_pairs as f64);
+                let p = n_hat * k_hat * phi;
+                if p > 0.0 {
+                    out.insert((k, k2), p);
+                }
+            }
+        }
+    }
+    for &key in te.touched() {
+        let (k, k2) = decode(key);
+        let p = te.get(key);
+        if ((k + k2) as f64) < threshold && p > 0.0 {
+            out.insert((k, k2), p);
+        }
+    }
+    symmetrize(&mut out);
+    Ok(out)
+}
+
+/// Hash-map accumulation path of [`estimate_jdd_with`], for walks whose
+/// distinct-degree count overflows the dense rank-pair arena. Values are
+/// identical — per-key accumulation order matches the arena path.
+#[cold]
+fn jdd_hybrid_hashed(
+    crawl: &Crawl,
+    n_hat: f64,
+    k_hat: f64,
+    m: usize,
+    num_pairs: u64,
+    positions: &FxHashMap<u32, Vec<usize>>,
+) -> Result<FxHashMap<(u32, u32), f64>, EstimateError> {
+    let r = crawl.len();
+    let mut ie_raw: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    if num_pairs > 0 {
+        for (i, &x) in crawl.seq.iter().enumerate() {
+            let k = crawl.degree_of_step(i) as u32;
+            for &u in crawl.neighbors_of(x) {
+                let Some(list) = positions.get(&u) else {
+                    continue;
+                };
+                let left = list.partition_point(|&j| j + m <= i);
+                let right = list.len() - list.partition_point(|&j| j < i + m);
+                let cnt = (left + right) as f64;
+                if cnt > 0.0 {
+                    let k2 = crawl.neighbors_of(u).len() as u32;
+                    *ie_raw.entry((k, k2)).or_insert(0.0) += cnt;
+                }
+            }
+        }
+    }
     let mut te: FxHashMap<(u32, u32), f64> = FxHashMap::default();
     let te_norm = 1.0 / (2.0 * (r as f64 - 1.0));
     for i in 0..r - 1 {
@@ -260,8 +442,6 @@ pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, Estimat
         *te.entry((k, k2)).or_insert(0.0) += te_norm;
         *te.entry((k2, k)).or_insert(0.0) += te_norm;
     }
-
-    // --- Hybrid with threshold 2 k̄̂.
     let mut out: FxHashMap<(u32, u32), f64> = FxHashMap::default();
     let threshold = 2.0 * k_hat;
     if num_pairs > 0 {
@@ -280,8 +460,13 @@ pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, Estimat
             out.insert((k, k2), p);
         }
     }
-    // Enforce symmetry (IE accumulation is symmetric in expectation but
-    // not per-sample; average the two orientations).
+    symmetrize(&mut out);
+    Ok(out)
+}
+
+/// Enforces JDD symmetry (IE accumulation is symmetric in expectation
+/// but not per-sample; average the two orientations).
+fn symmetrize(out: &mut FxHashMap<(u32, u32), f64>) {
     let keys: Vec<(u32, u32)> = out.keys().copied().collect();
     for (k, k2) in keys {
         if k < k2 {
@@ -292,7 +477,6 @@ pub fn estimate_jdd(crawl: &Crawl) -> Result<FxHashMap<(u32, u32), f64>, Estimat
             out.insert((k2, k), avg);
         }
     }
-    Ok(out)
 }
 
 /// `ĉ̄(k) = Φ_c̄(k) / Φ(k)` — the degree-dependent clustering estimator
@@ -357,11 +541,20 @@ pub fn estimate_global_clustering(crawl: &Crawl) -> Result<f64, EstimateError> {
 
 /// Computes all five estimates (§III-E) from one walk.
 pub fn estimate_all(crawl: &Crawl) -> Result<Estimates, EstimateError> {
+    estimate_all_with(crawl, &mut EstimateScratch::new())
+}
+
+/// As [`estimate_all`], reusing the caller's scratch arenas — the entry
+/// point for harnesses that estimate many walks in a loop.
+pub fn estimate_all_with(
+    crawl: &Crawl,
+    scratch: &mut EstimateScratch,
+) -> Result<Estimates, EstimateError> {
     Ok(Estimates {
-        n_hat: estimate_num_nodes(crawl)?,
+        n_hat: estimate_num_nodes_with(crawl, scratch)?,
         avg_degree_hat: estimate_average_degree(crawl)?,
         degree_dist: estimate_degree_distribution(crawl)?,
-        jdd: estimate_jdd(crawl)?,
+        jdd: estimate_jdd_with(crawl, scratch)?,
         clustering: estimate_clustering(crawl)?,
     })
 }
@@ -564,6 +757,50 @@ mod tests {
             assert_eq!(
                 eb.jdd.get(k).copied().unwrap_or(f64::NAN).to_bits(),
                 v.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn reused_scratch_is_bitwise_identical_to_fresh() {
+        // One scratch across several different walks must give exactly
+        // the per-call results: stale epochs and previously grown arenas
+        // can leak nothing.
+        let mut scratch = EstimateScratch::new();
+        for seed in [1u64, 5, 9] {
+            let g =
+                sgr_gen::holme_kim(700, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap();
+            let crawl = walk_on(&g, 150, seed ^ 0x77);
+            let fresh = estimate_all(&crawl).unwrap();
+            let reused = estimate_all_with(&crawl, &mut scratch).unwrap();
+            assert_eq!(fresh.n_hat.to_bits(), reused.n_hat.to_bits());
+            assert_eq!(fresh.degree_dist, reused.degree_dist);
+            assert_eq!(fresh.clustering, reused.clustering);
+            assert_eq!(fresh.jdd.len(), reused.jdd.len());
+            for (k, v) in fresh.jdd.iter() {
+                assert_eq!(
+                    reused.jdd.get(k).copied().unwrap_or(f64::NAN).to_bits(),
+                    v.to_bits(),
+                    "jdd diverged at {k:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_collision_fallback_reuses_observed_marks() {
+        // Exercise the observed-node fallback twice through one scratch.
+        let g = sgr_gen::classic::path(10);
+        let mut scratch = EstimateScratch::new();
+        for (a, b, expect) in [(4u32, 5u32, 4.0), (1, 2, 4.0)] {
+            let mut crawl = Crawl::default();
+            for x in [a, b] {
+                crawl.seq.push(x);
+                crawl.neighbors.insert(x, g.neighbors(x).to_vec());
+            }
+            assert_eq!(
+                estimate_num_nodes_with(&crawl, &mut scratch).unwrap(),
+                expect
             );
         }
     }

@@ -98,6 +98,59 @@ impl CsrGraph {
         csr
     }
 
+    /// Freezes `g` into a snapshot whose node ids are **relabeled in
+    /// degree-descending order** (ties broken by ascending old id, so the
+    /// relabeling is deterministic), returning the snapshot together with
+    /// both id maps.
+    ///
+    /// Traversal kernels that keep per-node state (Brandes' σ/δ/dist
+    /// arrays, BFS visited bitsets) touch high-degree nodes far more often
+    /// than leaves; packing the hubs into the lowest ids concentrates
+    /// those random accesses into the first few cache lines/pages of each
+    /// state array. Neighbor slices are sorted ascending in the **new**
+    /// id space (the snapshot reports [`is_sorted`](Self::is_sorted)), so
+    /// per-slice access walks hub state in order too.
+    ///
+    /// The result is the same graph up to isomorphism — degree vector and
+    /// relabeled edge multiset are preserved exactly — but *not* the same
+    /// labeled graph, so order-sensitive float kernels produce different
+    /// (equally valid) results than on [`freeze`](Self::freeze); use the
+    /// id maps to translate per-node outputs back.
+    pub fn freeze_relabeled<G: GraphView + ?Sized>(g: &G) -> RelabeledCsr {
+        let n = g.num_nodes();
+        let total: usize = 2 * g.num_edges();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "graph too large for u32 CSR offsets ({total} neighbor entries)"
+        );
+        let mut new_to_old: Vec<NodeId> = (0..n as NodeId).collect();
+        new_to_old.sort_by_key(|&u| (std::cmp::Reverse(g.degree(u)), u));
+        let mut old_to_new = vec![0 as NodeId; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            old_to_new[old as usize] = new as NodeId;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for &old in &new_to_old {
+            let start = neighbors.len();
+            neighbors.extend(g.neighbors(old).iter().map(|&v| old_to_new[v as usize]));
+            neighbors[start..].sort_unstable();
+            offsets.push(neighbors.len() as u32);
+        }
+        debug_assert_eq!(neighbors.len(), total, "handshake violation in source view");
+        RelabeledCsr {
+            csr: Self {
+                offsets,
+                neighbors,
+                num_edges: g.num_edges(),
+                sorted: true,
+            },
+            old_to_new,
+            new_to_old,
+        }
+    }
+
     /// Number of nodes (including isolated ones).
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -193,6 +246,18 @@ impl CsrGraph {
         }
         g
     }
+}
+
+/// A degree-descending relabeled snapshot plus its id maps; produced by
+/// [`CsrGraph::freeze_relabeled`].
+#[derive(Clone, Debug)]
+pub struct RelabeledCsr {
+    /// The snapshot in the new (degree-descending) id space.
+    pub csr: CsrGraph,
+    /// `old_to_new[old]` — the new id of original node `old`.
+    pub old_to_new: Vec<NodeId>,
+    /// `new_to_old[new]` — the original id of snapshot node `new`.
+    pub new_to_old: Vec<NodeId>,
 }
 
 impl GraphView for CsrGraph {
@@ -325,6 +390,64 @@ mod tests {
         assert_eq!(csr.num_nodes(), 3);
         assert_eq!(csr.degree(1), 0);
         assert!(csr.neighbors(1).is_empty());
+    }
+
+    #[test]
+    fn relabeled_freeze_is_degree_descending_isomorphism() {
+        let mut g = messy();
+        g.add_edge(1, 4); // break some degree ties
+        let r = CsrGraph::freeze_relabeled(&g);
+        assert!(r.csr.is_sorted());
+        assert_eq!(r.csr.num_nodes(), g.num_nodes());
+        assert_eq!(r.csr.num_edges(), g.num_edges());
+        assert_eq!(r.csr.degree_vector(), g.degree_vector());
+        // Maps are inverse bijections.
+        for old in g.nodes() {
+            assert_eq!(r.new_to_old[r.old_to_new[old as usize] as usize], old);
+            // Degrees carried over through the relabeling.
+            assert_eq!(r.csr.degree(r.old_to_new[old as usize]), g.degree(old));
+        }
+        // New ids are ordered by non-increasing degree.
+        for new in 1..r.csr.num_nodes() {
+            assert!(r.csr.degree(new as NodeId - 1) >= r.csr.degree(new as NodeId));
+        }
+        // Ties broken by ascending old id.
+        for new in 1..r.csr.num_nodes() {
+            if r.csr.degree(new as NodeId - 1) == r.csr.degree(new as NodeId) {
+                assert!(r.new_to_old[new - 1] < r.new_to_old[new]);
+            }
+        }
+        // Edge multiset preserved under the mapping (multi-edges, loops).
+        let mut want: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (r.old_to_new[u as usize], r.old_to_new[v as usize]);
+                if a <= b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            })
+            .collect();
+        want.sort_unstable();
+        let mut have: Vec<(NodeId, NodeId)> = GraphView::edges(&r.csr)
+            .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        have.sort_unstable();
+        assert_eq!(have, want);
+    }
+
+    #[test]
+    fn relabeled_freeze_empty_and_isolated() {
+        let r = CsrGraph::freeze_relabeled(&Graph::with_nodes(0));
+        assert_eq!(r.csr.num_nodes(), 0);
+        assert!(r.old_to_new.is_empty());
+
+        let r = CsrGraph::freeze_relabeled(&Graph::from_edges(4, &[(2, 3)]));
+        // Isolated nodes 0 and 1 sink to the highest new ids.
+        assert_eq!(r.csr.degree(0), 1);
+        assert_eq!(r.csr.degree(3), 0);
+        assert_eq!(&r.new_to_old[..2], &[2, 3]);
     }
 
     #[test]

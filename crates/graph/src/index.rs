@@ -260,6 +260,56 @@ impl MultiplicityIndex {
         }
     }
 
+    /// The sorted `(neighbor, A_uv)` slice of `u`, if `u` is stored in
+    /// small-vec form (`None` for hub nodes promoted to hashed form).
+    ///
+    /// The slice is strictly ascending in neighbor id — the invariant
+    /// [`for_each_common`](Self::for_each_common)'s merge-intersection
+    /// fast path relies on.
+    #[inline]
+    pub fn sorted_entries(&self, u: NodeId) -> Option<&[(NodeId, u32)]> {
+        match &self.nodes[u as usize] {
+            NodeRep::Sorted(list) => Some(list),
+            NodeRep::Hashed(_) => None,
+        }
+    }
+
+    /// Calls `f(w, A_xw, A_yw)` once for every **distinct common
+    /// neighbor** `w` of `x` and `y` (i.e. `A_xw > 0` and `A_yw > 0`).
+    /// Visit order is unspecified, like [`entries`](Self::entries).
+    ///
+    /// This is the hot kernel of the rewiring engines' swap evaluation
+    /// (four common-neighbor scans per attempt). Representation-aware:
+    ///
+    /// * both nodes sorted (the overwhelmingly common case under
+    ///   [`SMALL_THRESHOLD`]) — a branchless [`merge_common`] over the two
+    ///   ascending slices, O(d̃_x + d̃_y) with no hashing or binary search;
+    /// * either node hashed — iterate the side with fewer distinct
+    ///   neighbors (using its sorted slice when available, so probes walk
+    ///   memory in order) and probe the other in O(1).
+    pub fn for_each_common<F: FnMut(NodeId, u32, u32)>(&self, x: NodeId, y: NodeId, mut f: F) {
+        match (self.sorted_entries(x), self.sorted_entries(y)) {
+            (Some(a), Some(b)) => merge_common(a, b, f),
+            _ => {
+                if self.num_distinct(x) <= self.num_distinct(y) {
+                    for (w, a_xw) in self.entries(x) {
+                        let a_yw = self.get(y, w);
+                        if a_yw > 0 {
+                            f(w, a_xw, a_yw);
+                        }
+                    }
+                } else {
+                    for (w, a_yw) in self.entries(y) {
+                        let a_xw = self.get(x, w);
+                        if a_xw > 0 {
+                            f(w, a_xw, a_yw);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Structural mutation count (debug builds only; always 0 in release).
     /// Used by the rewiring engine to assert rejected attempts touch
     /// nothing.
@@ -350,6 +400,59 @@ impl MultiplicityIndex {
         }
         Ok(())
     }
+}
+
+/// Branchless sorted-slice intersection: calls `f(w, a_w, b_w)` for every
+/// key present in both ascending `(key, value)` slices.
+///
+/// Cursor advancement is a data-dependent add (`cmp as usize`), not a
+/// branch, so mispredict stalls disappear from the balanced-merge case.
+/// When one cursor falls behind, a 4-wide unrolled catch-up loop counts
+/// how many of the next four keys are still below the bound with four
+/// independent compares — a form the autovectorizer can lift to SIMD —
+/// and jumps the cursor by that count, giving galloping-style skips over
+/// hub-vs-leaf skew without a branchy binary search.
+pub fn merge_common<F: FnMut(NodeId, u32, u32)>(
+    a: &[(NodeId, u32)],
+    b: &[(NodeId, u32)],
+    mut f: F,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (wa, va) = a[i];
+        let (wb, vb) = b[j];
+        if wa == wb {
+            f(wa, va, vb);
+            i += 1;
+            j += 1;
+            continue;
+        }
+        if wa < wb {
+            i = advance4(a, i + 1, wb);
+        } else {
+            j = advance4(b, j + 1, wa);
+        }
+    }
+}
+
+/// Advances `i` past every key of `list` strictly below `bound`,
+/// consuming quads with four branchless compares per step.
+#[inline]
+fn advance4(list: &[(NodeId, u32)], mut i: usize, bound: NodeId) -> usize {
+    while i + 4 <= list.len() {
+        let adv = (list[i].0 < bound) as usize
+            + (list[i + 1].0 < bound) as usize
+            + (list[i + 2].0 < bound) as usize
+            + (list[i + 3].0 < bound) as usize;
+        i += adv;
+        if adv < 4 {
+            return i;
+        }
+    }
+    while i < list.len() && list[i].0 < bound {
+        i += 1;
+    }
+    i
 }
 
 /// Iterator over one node's `(neighbor, A_uv)` pairs; see
@@ -482,6 +585,76 @@ mod tests {
         }
         idx.validate_against(&g).unwrap();
         assert_eq!(idx.num_distinct(0), 0);
+    }
+
+    /// Common-neighbor reference: probe every node of the graph.
+    fn naive_common(idx: &MultiplicityIndex, x: NodeId, y: NodeId) -> Vec<(NodeId, u32, u32)> {
+        let mut out: Vec<(NodeId, u32, u32)> = (0..idx.num_nodes() as NodeId)
+            .filter_map(|w| {
+                let (a, b) = (idx.get(x, w), idx.get(y, w));
+                (a > 0 && b > 0).then_some((w, a, b))
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn collected_common(idx: &MultiplicityIndex, x: NodeId, y: NodeId) -> Vec<(NodeId, u32, u32)> {
+        let mut out = Vec::new();
+        idx.for_each_common(x, y, |w, a, b| out.push((w, a, b)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn sorted_entries_only_for_small_nodes() {
+        let n = SMALL_THRESHOLD + 10;
+        let edges: Vec<(NodeId, NodeId)> = (1..=n as NodeId).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(n + 1, &edges);
+        let idx = MultiplicityIndex::build(&g);
+        assert!(idx.sorted_entries(0).is_none(), "hub should be hashed");
+        let leaf = idx.sorted_entries(1).expect("leaf should be sorted");
+        assert_eq!(leaf, &[(0, 1)]);
+    }
+
+    #[test]
+    fn for_each_common_matches_naive_on_all_pairs() {
+        // Mixed representations: node 0 is a hashed hub, everyone else
+        // sorted; multi-edges and self-loops included.
+        let n = SMALL_THRESHOLD + 8;
+        let mut edges: Vec<(NodeId, NodeId)> = (1..=n as NodeId).map(|v| (0, v)).collect();
+        edges.extend([(1, 2), (1, 2), (2, 3), (3, 4), (1, 4), (2, 2)]);
+        let g = Graph::from_edges(n + 1, &edges);
+        let idx = MultiplicityIndex::build(&g);
+        for x in [0, 1, 2, 3, 4, 5] {
+            for y in [0, 1, 2, 3, 4, 5] {
+                assert_eq!(
+                    collected_common(&idx, x, y),
+                    naive_common(&idx, x, y),
+                    "pair ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_common_handles_skew_and_runs() {
+        // Hand-built slices exercising the 4-wide catch-up: long run of
+        // low keys on one side, sparse high keys on the other.
+        let a: Vec<(NodeId, u32)> = (0..40).map(|k| (k, k + 1)).collect();
+        let b: Vec<(NodeId, u32)> = vec![(3, 9), (17, 2), (38, 5), (39, 1), (90, 7)];
+        let mut got = Vec::new();
+        merge_common(&a, &b, |w, x, y| got.push((w, x, y)));
+        assert_eq!(got, vec![(3, 4, 9), (17, 18, 2), (38, 39, 5), (39, 40, 1)]);
+        // Symmetric call sees the same keys with values swapped.
+        let mut rev = Vec::new();
+        merge_common(&b, &a, |w, x, y| rev.push((w, y, x)));
+        assert_eq!(got, rev);
+        // Disjoint and empty inputs.
+        let mut none = Vec::new();
+        merge_common(&a[..2], &b[4..], |w, _, _| none.push(w));
+        merge_common(&[], &b, |w, _, _| none.push(w));
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod index;
 pub mod io;
 pub mod view;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, RelabeledCsr};
 pub use graph::{DegreeVector, Graph, NodeId};
 pub use view::GraphView;

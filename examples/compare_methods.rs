@@ -67,13 +67,13 @@ fn main() {
     let sg = crawl.subgraph();
     report("RW", &sg.graph, t.elapsed().as_secs_f64());
 
-    let out = gjoka::generate(&crawl, rc, &mut rng).expect("gjoka");
-    report("Gjoka et al.", &out.graph, out.stats.total_secs());
-
     let cfg = RestoreConfig {
         rewiring_coefficient: rc,
-        rewire: true,
+        ..RestoreConfig::default()
     };
+    let out = gjoka::generate(&crawl, &cfg, &mut rng).expect("gjoka");
+    report("Gjoka et al.", &out.graph, out.stats.total_secs());
+
     let restored = restore(&crawl, &cfg, &mut rng).expect("proposed");
     report("Proposed", &restored.graph, restored.stats.total_secs());
 }

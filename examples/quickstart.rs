@@ -36,7 +36,7 @@ fn main() {
     // Restore the graph from the sample.
     let cfg = RestoreConfig {
         rewiring_coefficient: 50.0, // paper default is 500; 50 is snappy
-        rewire: true,
+        ..RestoreConfig::default()
     };
     let restored = restore(&crawl, &cfg, &mut rng).expect("restoration succeeds");
     println!(

@@ -21,7 +21,7 @@ fn main() {
         &crawl,
         &RestoreConfig {
             rewiring_coefficient: 50.0,
-            rewire: true,
+            ..RestoreConfig::default()
         },
         &mut rng,
     )

@@ -29,7 +29,7 @@
 //! let walk = random_walk_until_fraction(&g, 0.10, &mut rng);
 //! // Restore (small rewiring budget to keep the doc test fast; the
 //! // paper's default is `RestoreConfig::default()` with R_C = 500).
-//! let cfg = RestoreConfig { rewiring_coefficient: 5.0, rewire: true };
+//! let cfg = RestoreConfig { rewiring_coefficient: 5.0, ..RestoreConfig::default() };
 //! let restored = restore(&walk, &cfg, &mut rng).unwrap();
 //! assert!(restored.graph.num_nodes() > 0);
 //! ```

@@ -38,6 +38,7 @@ fn proposed_beats_rw_subgraph_sampling_on_average() {
             &RestoreConfig {
                 rewiring_coefficient: 30.0,
                 rewire: true,
+                ..RestoreConfig::default()
             },
             &mut rng,
         )
@@ -65,11 +66,20 @@ fn proposed_rewires_fewer_candidates_than_gjoka() {
         &RestoreConfig {
             rewiring_coefficient: 1.0,
             rewire: true,
+            ..RestoreConfig::default()
         },
         &mut rng,
     )
     .unwrap();
-    let gj = gjoka::generate(&crawl, 1.0, &mut rng).unwrap();
+    let gj = gjoka::generate(
+        &crawl,
+        &RestoreConfig {
+            rewiring_coefficient: 1.0,
+            ..RestoreConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
     assert!(
         r.stats.candidate_edges < gj.stats.candidate_edges,
         "proposed candidates {} not below Gjoka's {}",
@@ -99,7 +109,15 @@ fn proposed_beats_gjoka_on_degree_dependent_clustering() {
         let seed = am.random_seed(&mut rng);
         let crawl = random_walk(&mut am, seed, g.num_nodes() / 10, &mut rng);
 
-        let gj = gjoka::generate(&crawl, 20.0, &mut rng).unwrap();
+        let gj = gjoka::generate(
+            &crawl,
+            &RestoreConfig {
+                rewiring_coefficient: 20.0,
+                ..RestoreConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
         let gj_props = StructuralProperties::compute(&gj.graph, &props_cfg);
         gjoka_ck += truth.l1_distances(&gj_props)[5] / runs as f64;
 
@@ -108,6 +126,7 @@ fn proposed_beats_gjoka_on_degree_dependent_clustering() {
             &RestoreConfig {
                 rewiring_coefficient: 20.0,
                 rewire: true,
+                ..RestoreConfig::default()
             },
             &mut rng,
         )

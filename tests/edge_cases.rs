@@ -12,6 +12,7 @@ fn cfg() -> RestoreConfig {
     RestoreConfig {
         rewiring_coefficient: 3.0,
         rewire: true,
+        ..RestoreConfig::default()
     }
 }
 
@@ -162,7 +163,15 @@ fn gjoka_handles_degenerate_walks_too() {
     let g = star(30);
     let crawl = crawl_fraction(&g, 0.5, 12);
     let mut rng = Xoshiro256pp::seed_from_u64(13);
-    let out = social_graph_restoration::core::gjoka::generate(&crawl, 2.0, &mut rng).unwrap();
+    let out = social_graph_restoration::core::gjoka::generate(
+        &crawl,
+        &RestoreConfig {
+            rewiring_coefficient: 2.0,
+            ..RestoreConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
     out.graph.validate().unwrap();
 }
 

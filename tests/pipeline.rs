@@ -12,6 +12,7 @@ fn cfg(rc: f64) -> RestoreConfig {
     RestoreConfig {
         rewiring_coefficient: rc,
         rewire: true,
+        ..RestoreConfig::default()
     }
 }
 
@@ -85,6 +86,7 @@ fn rewiring_never_breaks_dv_or_jdm() {
         &RestoreConfig {
             rewiring_coefficient: 0.0,
             rewire: false,
+            ..RestoreConfig::default()
         },
         &mut rng_b,
     )
@@ -102,8 +104,15 @@ fn gjoka_baseline_runs_on_analogues() {
         let mut rng = Xoshiro256pp::seed_from_u64(ds as u64 + 40);
         let g = ds.spec().scaled(0.08).generate(&mut rng);
         let crawl = random_walk_until_fraction(&g, 0.10, &mut rng);
-        let out = social_graph_restoration::core::gjoka::generate(&crawl, 3.0, &mut rng)
-            .unwrap_or_else(|e| panic!("{}: gjoka failed: {e}", ds.name()));
+        let out = social_graph_restoration::core::gjoka::generate(
+            &crawl,
+            &RestoreConfig {
+                rewiring_coefficient: 3.0,
+                ..RestoreConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("{}: gjoka failed: {e}", ds.name()));
         out.graph.validate().unwrap();
         let jdm = joint_degree_matrix(&out.graph);
         assert!(jdm_matches_degree_vector(&jdm, &out.graph.degree_vector()));

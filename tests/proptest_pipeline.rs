@@ -23,7 +23,7 @@ proptest! {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let g = social_graph_restoration::gen::holme_kim(n, m_attach, p_t, &mut rng).unwrap();
         let crawl = random_walk_until_fraction(&g, frac, &mut rng);
-        let cfg = RestoreConfig { rewiring_coefficient: 2.0, rewire: true };
+        let cfg = RestoreConfig { rewiring_coefficient: 2.0, rewire: true, ..RestoreConfig::default() };
         let r = restore(&crawl, &cfg, &mut rng).unwrap();
 
         // The generated multigraph is internally consistent.
@@ -70,7 +70,7 @@ proptest! {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let g = social_graph_restoration::gen::holme_kim(n, 3, 0.5, &mut rng).unwrap();
         let crawl = random_walk_until_fraction(&g, frac, &mut rng);
-        let out = social_graph_restoration::core::gjoka::generate(&crawl, 2.0, &mut rng).unwrap();
+        let out = social_graph_restoration::core::gjoka::generate(&crawl, &RestoreConfig { rewiring_coefficient: 2.0, ..RestoreConfig::default() }, &mut rng).unwrap();
         prop_assert!(out.graph.validate().is_ok());
         let jdm = joint_degree_matrix(&out.graph);
         prop_assert!(jdm_matches_degree_vector(&jdm, &out.graph.degree_vector()));
