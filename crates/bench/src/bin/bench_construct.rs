@@ -9,10 +9,21 @@
 //! * `estimate` — the five §III estimators via [`estimate_all_with`] on a
 //!   reused [`EstimateScratch`] (the arena-backed path);
 //! * `targeting` — target degree vector + joint degree matrix
-//!   (Algorithms 1–4 with the subgraph modification steps);
+//!   (Algorithms 1–4 with the subgraph modification steps), reported
+//!   both as a total and as a per-phase split: `dv` (Algorithms 1–2),
+//!   `jdm_init` (arena allocation + subgraph JDM), `jdm_adjust`
+//!   (Algorithm 3, first pass), `jdm_modify` (Algorithm 4), and
+//!   `jdm_readjust` (Algorithm 3 with subgraph lower limits). The split
+//!   is what made the dense-matrix initialization cost visible in the
+//!   first place — keep it so regressions name their phase;
 //! * `construct` — node addition + stub matching
 //!   ([`extend_subgraph`](sgr_core::construct::extend_subgraph)), with
 //!   built-edges/sec as the headline rate.
+//!
+//! CI gates `targeting_seconds ≤ 2 × construct_seconds` at 100k (see
+//! `.github/workflows/ci.yml`): targeting must stay cheaper than the
+//! stub matching it feeds, which the batched engine satisfies with
+//! headroom while the per-unit one did not.
 //!
 //! Usage: `bench_construct [out.json] [sizes_csv]`
 //! (defaults: `BENCH_construct.json`, sizes `100000,1000000`).
@@ -35,6 +46,8 @@ struct SizeResult {
     built_edges: usize,
     added_edges: usize,
     estimate_secs: f64,
+    dv_secs: f64,
+    jdm_stats: target_jdm::JdmBuildStats,
     targeting_secs: f64,
     construct_secs: f64,
 }
@@ -51,7 +64,9 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
 
     let t = Instant::now();
     let mut dv = target_dv::build(&subgraph, &estimates, &mut rng);
-    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv, &mut rng);
+    let dv_secs = t.elapsed().as_secs_f64();
+    let (jdm, jdm_stats) =
+        target_jdm::build_with_stats(&subgraph, &estimates, &mut dv).expect("targeting failed");
     let targeting_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -67,6 +82,8 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
         built_edges: built.graph.num_edges(),
         added_edges: built.added_edges.len(),
         estimate_secs,
+        dv_secs,
+        jdm_stats,
         targeting_secs,
         construct_secs,
     }
@@ -94,9 +111,11 @@ fn main() {
         let total = r.estimate_secs + r.targeting_secs + r.construct_secs;
         let edges_per_sec = r.built_edges as f64 / r.construct_secs;
         eprintln!(
-            "  estimate {:.3}s · targeting {:.3}s · construct {:.3}s ({} nodes, {} edges, {:.0} edges/s)",
-            r.estimate_secs, r.targeting_secs, r.construct_secs,
-            r.built_nodes, r.built_edges, edges_per_sec,
+            "  estimate {:.3}s · targeting {:.3}s (dv {:.3} · init {:.3} · adjust {:.3} · modify {:.3} · readjust {:.3}) · construct {:.3}s ({} nodes, {} edges, {:.0} edges/s)",
+            r.estimate_secs, r.targeting_secs, r.dv_secs,
+            r.jdm_stats.init_secs, r.jdm_stats.adjust_secs,
+            r.jdm_stats.modify_secs, r.jdm_stats.readjust_secs,
+            r.construct_secs, r.built_nodes, r.built_edges, edges_per_sec,
         );
         entries.push(format!(
             concat!(
@@ -108,6 +127,11 @@ fn main() {
                 "      \"built_edges\": {},\n",
                 "      \"added_edges\": {},\n",
                 "      \"estimate_seconds\": {:.6},\n",
+                "      \"dv_seconds\": {:.6},\n",
+                "      \"jdm_init_seconds\": {:.6},\n",
+                "      \"jdm_adjust_seconds\": {:.6},\n",
+                "      \"jdm_modify_seconds\": {:.6},\n",
+                "      \"jdm_readjust_seconds\": {:.6},\n",
                 "      \"targeting_seconds\": {:.6},\n",
                 "      \"construct_seconds\": {:.6},\n",
                 "      \"total_seconds\": {:.6},\n",
@@ -122,6 +146,11 @@ fn main() {
             r.built_edges,
             r.added_edges,
             r.estimate_secs,
+            r.dv_secs,
+            r.jdm_stats.init_secs,
+            r.jdm_stats.adjust_secs,
+            r.jdm_stats.modify_secs,
+            r.jdm_stats.readjust_secs,
             r.targeting_secs,
             r.construct_secs,
             total,

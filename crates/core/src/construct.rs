@@ -48,9 +48,19 @@ pub fn extend_subgraph(
     }
 
     // Degree sequence for the added nodes: k appears n*(k) - n'(k) times.
+    // The subtraction is exactly condition DV-3; a violated invariant
+    // must surface as an error, not wrap around in release mode and ask
+    // the stub matcher for ~1.8e19 nodes.
     let mut dseq: Vec<u32> = Vec::with_capacity(n_total - n_sub);
     for k in 1..=dv.k_max {
-        for _ in 0..(dv.n_star[k] - dv.n_prime[k]) {
+        let free = dv.n_star[k]
+            .checked_sub(dv.n_prime[k])
+            .ok_or(DkError::DvDominanceViolated {
+                k: k as u32,
+                n_star: dv.n_star[k],
+                n_prime: dv.n_prime[k],
+            })?;
+        for _ in 0..free {
             dseq.push(k as u32);
         }
     }
@@ -61,14 +71,20 @@ pub fn extend_subgraph(
     target_deg.extend_from_slice(&dv.d_star);
     target_deg.extend_from_slice(&dseq);
 
-    // Edges to add per degree-class pair.
+    // Edges to add per degree-class pair: m*(k,k') − m'(k,k') is
+    // condition JDM-4, guarded the same way.
     let mut add: JointDegreeMatrix = FxHashMap::default();
-    for k in 1..=jdm.k_max {
-        for k2 in k..=jdm.k_max {
-            let extra = jdm.m_star[k][k2] - jdm.m_prime[k][k2];
-            if extra > 0 {
-                add.insert((k as u32, k2 as u32), extra);
-            }
+    for (k, k2, star, prime) in jdm.upper_entries() {
+        let extra = star
+            .checked_sub(prime)
+            .ok_or(DkError::JdmDominanceViolated {
+                k: k as u32,
+                k2: k2 as u32,
+                m_star: star,
+                m_prime: prime,
+            })?;
+        if extra > 0 {
+            add.insert((k as u32, k2 as u32), extra);
         }
     }
 
@@ -108,7 +124,7 @@ mod tests {
             let (sg, est) = setup(500, 0.1, seed);
             let mut rng = Xoshiro256pp::seed_from_u64(seed + 70);
             let mut dv = target_dv::build(&sg, &est, &mut rng);
-            let jdm = target_jdm::build(&sg, &est, &mut dv, &mut rng);
+            let jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
             let built = extend_subgraph(&sg, &dv, &jdm, &mut rng).unwrap();
             let g = &built.graph;
             g.validate().unwrap();
@@ -131,7 +147,7 @@ mod tests {
                             .get(&(k as u32, k2 as u32))
                             .copied()
                             .unwrap_or(0),
-                        jdm.m_star[k][k2],
+                        jdm.get(k, k2),
                         "m({k},{k2}) off (seed {seed})"
                     );
                 }
@@ -151,7 +167,7 @@ mod tests {
         let (sg, est) = setup(400, 0.12, 9);
         let mut rng = Xoshiro256pp::seed_from_u64(80);
         let mut dv = target_dv::build(&sg, &est, &mut rng);
-        let jdm = target_jdm::build(&sg, &est, &mut dv, &mut rng);
+        let jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
         let built = extend_subgraph(&sg, &dv, &jdm, &mut rng).unwrap();
         for (u, &d) in built.target_deg.iter().enumerate() {
             assert_eq!(
@@ -159,6 +175,55 @@ mod tests {
                 d as usize,
                 "node {u} missed its target degree"
             );
+        }
+    }
+
+    #[test]
+    fn broken_dv_dominance_is_an_error_not_an_underflow() {
+        // Corrupt DV-3 (n'(k) > n*(k)): in release mode the old raw
+        // subtraction wrapped to ~1.8e19 and stub matching was asked for
+        // that many nodes; it must now surface as a typed error.
+        let (sg, est) = setup(300, 0.1, 3);
+        let mut rng = Xoshiro256pp::seed_from_u64(81);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
+        let k = (1..=dv.k_max)
+            .find(|&k| dv.n_prime[k] > 0)
+            .expect("subgraph assigns at least one target degree");
+        dv.n_star[k] = dv.n_prime[k] - 1;
+        match extend_subgraph(&sg, &dv, &jdm, &mut rng) {
+            Err(DkError::DvDominanceViolated { k: ek, .. }) => {
+                assert_eq!(ek as usize, k)
+            }
+            other => panic!("expected DvDominanceViolated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_jdm_dominance_is_an_error_not_an_underflow() {
+        // Corrupt JDM-4 (m'(k,k') > m*(k,k')): same hazard on the edge
+        // side.
+        let (sg, est) = setup(300, 0.1, 4);
+        let mut rng = Xoshiro256pp::seed_from_u64(82);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let mut jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
+        let (k, k2, star, _) = jdm
+            .upper_entries()
+            .find(|&(k, _, star, _)| k > 0 && star > 0)
+            .expect("some populated cell");
+        jdm.set_prime(k, k2, star + 3);
+        match extend_subgraph(&sg, &dv, &jdm, &mut rng) {
+            Err(DkError::JdmDominanceViolated {
+                k: ek,
+                k2: ek2,
+                m_star,
+                m_prime,
+            }) => {
+                assert_eq!((ek as usize, ek2 as usize), (k, k2));
+                assert_eq!(m_star, star);
+                assert_eq!(m_prime, star + 3);
+            }
+            other => panic!("expected JdmDominanceViolated, got {other:?}"),
         }
     }
 }

@@ -50,7 +50,7 @@ pub fn generate(
     let estimates = estimate_all(crawl)?;
     // Targets without subgraph modification steps.
     let mut dv = crate::target_dv::build_gjoka(&estimates);
-    let jdm = crate::target_jdm::build_gjoka(&estimates, &mut dv, rng);
+    let jdm = crate::target_jdm::build_gjoka(&estimates, &mut dv)?;
     let target_secs = t0.elapsed().as_secs_f64();
 
     // Construction from an empty graph: every node takes its degree from
@@ -66,11 +66,9 @@ pub fn generate(
     }
     sgr_util::sampling::shuffle(&mut dseq, rng);
     let mut add: JointDegreeMatrix = FxHashMap::default();
-    for k in 1..=jdm.k_max {
-        for k2 in k..=jdm.k_max {
-            if jdm.m_star[k][k2] > 0 {
-                add.insert((k as u32, k2 as u32), jdm.m_star[k][k2]);
-            }
+    for (k, k2, star, _) in jdm.upper_entries() {
+        if star > 0 {
+            add.insert((k as u32, k2 as u32), star);
         }
     }
     let added = wire_stubs(&mut g, &dseq, &add, rng)?;

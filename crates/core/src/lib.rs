@@ -92,6 +92,9 @@ pub(crate) fn run_rewiring(
 pub enum RestoreError {
     /// The walk was too short for the estimators.
     Estimate(EstimateError),
+    /// Target construction failed (Algorithm 3 non-convergence —
+    /// indicates corrupted inputs, surfaced instead of panicking).
+    Target(target_jdm::TargetError),
     /// Internal construction failure (violated realizability conditions —
     /// indicates a bug, surfaced instead of panicking).
     Construct(sgr_dk::DkError),
@@ -103,6 +106,7 @@ impl std::fmt::Display for RestoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RestoreError::Estimate(e) => write!(f, "estimation failed: {e}"),
+            RestoreError::Target(e) => write!(f, "target construction failed: {e}"),
             RestoreError::Construct(e) => write!(f, "construction failed: {e}"),
             RestoreError::EmptyCrawl => write!(f, "crawl contains no queried node"),
         }
@@ -114,6 +118,12 @@ impl std::error::Error for RestoreError {}
 impl From<EstimateError> for RestoreError {
     fn from(e: EstimateError) -> Self {
         RestoreError::Estimate(e)
+    }
+}
+
+impl From<target_jdm::TargetError> for RestoreError {
+    fn from(e: target_jdm::TargetError) -> Self {
+        RestoreError::Target(e)
     }
 }
 
@@ -183,7 +193,7 @@ pub fn restore(
     // Phase 1: target degree vector (Algorithms 1 + 2).
     let mut dv = target_dv::build(&subgraph, &estimates, rng);
     // Phase 2: target joint degree matrix (Algorithms 3 + 4 + re-adjust).
-    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv, rng);
+    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv)?;
     let target_secs = t0.elapsed().as_secs_f64();
 
     // Phase 3: add nodes and edges (Algorithm 5).

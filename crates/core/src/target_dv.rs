@@ -1,8 +1,18 @@
 //! Phase 1 — constructing the target degree vector `{n*(k)}` (§IV-B,
 //! Algorithms 1 and 2).
+//!
+//! The modification step (Algorithm 2) draws each visible node's target
+//! degree uniformly from the multiset in which degree `k` appears
+//! `n*(k) − n'(k)` times, restricted to `k ≥ d'`. The draw is backed by a
+//! [`Fenwick`] tree over the free-slot counts: suffix total and weighted
+//! selection are both `O(log k*_max)` per node instead of an `O(k*_max)`
+//! scan, and the tree consumes **exactly one RNG draw per node with free
+//! slots — the same stream as the scan it replaced**, so `d*` assignments
+//! are bit-identical to the per-unit implementation's.
 
 use sgr_estimate::Estimates;
 use sgr_sample::Subgraph;
+use sgr_util::bucket::Fenwick;
 use sgr_util::Xoshiro256pp;
 
 /// The target degree vector plus the per-node target-degree assignment of
@@ -114,20 +124,36 @@ fn initialize(est: &Estimates, min_k_max: usize) -> TargetDv {
 /// Adjustment step (Algorithm 1): if the degree sum is odd, increment
 /// `n*(k)` for the odd `k` with the smallest error increase `Δ+(k)`
 /// (smallest `k` on ties).
+///
+/// When **every** odd degree has `Δ+(k) = ∞` (no odd degree carries a
+/// positive estimate `P̂(k)`), the error terms give no guidance. Rather
+/// than silently minting a degree-1 node the estimates never saw, prefer
+/// the smallest odd degree whose class already exists in the target
+/// (`n*(k) > 0` — typically forced there by the subgraph's own degrees).
+/// An odd degree sum always carries an odd `k` with odd `n*(k)`, so that
+/// search cannot come up empty; the final `unwrap_or(1)` (one extra
+/// leaf, the cheapest perturbation) is a defensive default kept for the
+/// impossible branch rather than a reachable policy.
 pub(crate) fn adjust_even_sum(dv: &mut TargetDv) {
     if dv.degree_sum().is_multiple_of(2) {
         return;
     }
-    let mut best_k = 1usize;
+    let mut best_k = None;
     let mut best = f64::INFINITY;
     for k in (1..=dv.k_max).step_by(2) {
         let d = dv.delta_plus(k);
         if d < best {
             best = d;
-            best_k = k;
+            best_k = Some(k);
         }
     }
-    dv.bump(best_k, 1);
+    let k = best_k.unwrap_or_else(|| {
+        (1..=dv.k_max)
+            .step_by(2)
+            .find(|&k| dv.n_star[k] > 0)
+            .unwrap_or(1)
+    });
+    dv.bump(k, 1);
 }
 
 /// Modification step (Algorithm 2): assign target degrees to the subgraph
@@ -151,6 +177,18 @@ fn modify_for_subgraph(dv: &mut TargetDv, sg: &Subgraph, rng: &mut Xoshiro256pp)
             dv.n_star[k] = dv.n_prime[k];
         }
     }
+    // Free-slot counts n*(k) − n'(k), kept current in a Fenwick tree so
+    // each node's suffix total and uniform draw cost O(log k*_max).
+    let free: Vec<u64> = (0..=dv.k_max)
+        .map(|k| {
+            if k == 0 {
+                0
+            } else {
+                dv.n_star[k] - dv.n_prime[k]
+            }
+        })
+        .collect();
+    let mut slots = Fenwick::from_counts(&free);
     // Visible nodes in decreasing subgraph-degree order: heavy-tailed
     // graphs leave high-degree nodes the fewest candidate targets.
     let mut visible: Vec<u32> = sg.visible_nodes().collect();
@@ -158,25 +196,18 @@ fn modify_for_subgraph(dv: &mut TargetDv, sg: &Subgraph, rng: &mut Xoshiro256pp)
     for &u in &visible {
         let d_sub = sg.graph.degree(u);
         // D_seq(i): degree k appears n*(k) - n'(k) times for k ≥ d'.
-        let total: u64 = (d_sub..=dv.k_max)
-            .map(|k| dv.n_star[k] - dv.n_prime[k])
-            .sum();
+        let total = slots.suffix(d_sub);
         let chosen = if total > 0 {
-            // Uniform draw from the multiset without materializing it.
-            let mut target = rng.gen_range(total as usize) as u64;
-            let mut pick = d_sub;
-            for k in d_sub..=dv.k_max {
-                let slots = dv.n_star[k] - dv.n_prime[k];
-                if target < slots {
-                    pick = k;
-                    break;
-                }
-                target -= slots;
-            }
+            // Uniform draw from the multiset without materializing it —
+            // one gen_range, exactly like the linear scan it replaced.
+            let rank = rng.gen_range(total as usize) as u64;
+            let pick = slots.select_in_suffix(d_sub, rank);
+            slots.add(pick, -1);
             pick
         } else {
             // No free slot: take the degree in [d', k*max] with the
-            // smallest error increase (smallest k on ties).
+            // smallest error increase (smallest k on ties). n*(chosen)
+            // grows alongside n'(chosen), so the slot count stays zero.
             let mut best_k = d_sub.max(1);
             let mut best = f64::INFINITY;
             for k in d_sub.max(1)..=dv.k_max {
@@ -263,6 +294,79 @@ mod tests {
     }
 
     #[test]
+    fn fenwick_draw_matches_linear_scan_stream() {
+        // The Fenwick-backed Algorithm 2 must reproduce the linear scan's
+        // draws bit-for-bit: same RNG consumption, same slot selected.
+        // Replay the scan manually against a clone of the inputs.
+        for seed in 0..4 {
+            let (_, sg, est) = setup(400, 0.12, seed);
+            let mut rng_fast = Xoshiro256pp::seed_from_u64(seed + 500);
+            let mut rng_ref = rng_fast.clone();
+            let dv_fast = build(&sg, &est, &mut rng_fast);
+
+            // Reference replay: initialization + adjustment, then the
+            // original per-node linear scan.
+            let mut dv = initialize(&est, subgraph_max_degree(&sg));
+            adjust_even_sum(&mut dv);
+            let n_sub = sg.num_nodes();
+            dv.d_star = vec![0u32; n_sub];
+            for u in sg.queried_nodes() {
+                dv.d_star[u as usize] = sg.graph.degree(u) as u32;
+            }
+            for u in sg.queried_nodes() {
+                dv.n_prime[sg.graph.degree(u)] += 1;
+            }
+            for k in 1..=dv.k_max {
+                dv.n_star[k] = dv.n_star[k].max(dv.n_prime[k]);
+            }
+            let mut visible: Vec<u32> = sg.visible_nodes().collect();
+            visible.sort_by_key(|&u| std::cmp::Reverse((sg.graph.degree(u), u)));
+            for &u in &visible {
+                let d_sub = sg.graph.degree(u);
+                let total: u64 = (d_sub..=dv.k_max)
+                    .map(|k| dv.n_star[k] - dv.n_prime[k])
+                    .sum();
+                let chosen = if total > 0 {
+                    let mut target = rng_ref.gen_range(total as usize) as u64;
+                    let mut pick = d_sub;
+                    for k in d_sub..=dv.k_max {
+                        let slots = dv.n_star[k] - dv.n_prime[k];
+                        if target < slots {
+                            pick = k;
+                            break;
+                        }
+                        target -= slots;
+                    }
+                    pick
+                } else {
+                    let mut best_k = d_sub.max(1);
+                    let mut best = f64::INFINITY;
+                    for k in d_sub.max(1)..=dv.k_max {
+                        let d = dv.delta_plus(k);
+                        if d < best {
+                            best = d;
+                            best_k = k;
+                        }
+                    }
+                    best_k
+                };
+                dv.d_star[u as usize] = chosen as u32;
+                dv.n_prime[chosen] += 1;
+                dv.n_star[chosen] = dv.n_star[chosen].max(dv.n_prime[chosen]);
+            }
+            adjust_even_sum(&mut dv);
+
+            assert_eq!(dv_fast.d_star, dv.d_star, "d* diverged (seed {seed})");
+            assert_eq!(dv_fast.n_star, dv.n_star, "n* diverged (seed {seed})");
+            assert_eq!(
+                rng_fast.next_u64(),
+                rng_ref.next_u64(),
+                "RNG streams diverged (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
     fn adjust_even_sum_prefers_small_error() {
         // n̂(1) = 10 with n*(1) = 10 (incrementing costs 1/10);
         // n̂(3) = 2.4 with n*(3) = 2 (incrementing toward 2.4 REDUCES
@@ -283,6 +387,59 @@ mod tests {
         adjust_even_sum(&mut dv);
         // Δ+(1) = (|10-11|-0)/10 = 0.1; Δ+(3) = (|3.4-4|-|3.4-3|)/3.4 ≈ 0.059.
         assert_eq!(dv.n_star[3], 4);
+        assert_eq!(dv.degree_sum() % 2, 0);
+    }
+
+    #[test]
+    fn adjust_even_sum_all_infinite_prefers_existing_odd_class() {
+        // No odd degree has a positive estimate (every Δ+ is ∞), but the
+        // subgraph forced n*(3) > 0: the fix must perturb that existing
+        // class instead of minting a degree-1 node the estimates never
+        // saw.
+        let mut dv = TargetDv {
+            n_star: vec![0, 0, 4, 5, 0],
+            n_prime: vec![0; 5],
+            d_star: Vec::new(),
+            k_max: 4,
+            n_hat_k: vec![0.0, 0.0, 4.0, 0.0, 0.0],
+        };
+        assert_eq!(dv.degree_sum() % 2, 1); // 8 + 15 = 23 odd
+        adjust_even_sum(&mut dv);
+        assert_eq!(dv.n_star, vec![0, 0, 4, 6, 0]);
+        assert_eq!(dv.degree_sum() % 2, 0);
+    }
+
+    #[test]
+    fn adjust_even_sum_all_infinite_uses_smallest_existing_odd_class() {
+        // Only one odd class exists (degree 3, no estimate behind it):
+        // the fix perturbs it rather than degree 1.
+        let mut dv = TargetDv {
+            n_star: vec![0, 0, 0, 1, 0],
+            n_prime: vec![0; 5],
+            d_star: Vec::new(),
+            k_max: 4,
+            n_hat_k: vec![0.0; 5],
+        };
+        assert_eq!(dv.degree_sum() % 2, 1);
+        adjust_even_sum(&mut dv);
+        assert_eq!(dv.n_star[3], 2);
+        assert_eq!(dv.degree_sum() % 2, 0);
+
+        // The documented degree-1 default: an odd degree sum always
+        // carries some odd `k` with odd (hence positive) `n*(k)`, so the
+        // `unwrap_or(1)` arm is a defensive dead end by parity — the
+        // smallest existing odd class is always found. Degree 1 itself
+        // being that class exercises the smallest-possible outcome.
+        let mut dv = TargetDv {
+            n_star: vec![0, 1, 0, 0, 0],
+            n_prime: vec![0; 5],
+            d_star: Vec::new(),
+            k_max: 4,
+            n_hat_k: vec![0.0; 5],
+        };
+        assert_eq!(dv.degree_sum() % 2, 1);
+        adjust_even_sum(&mut dv);
+        assert_eq!(dv.n_star[1], 2);
         assert_eq!(dv.degree_sum() % 2, 0);
     }
 

@@ -26,6 +26,20 @@ pub enum DkError {
     /// Free stubs remained after wiring every requested edge, i.e. the
     /// inputs violated the marginal identity (JDM-3).
     LeftoverStubs { count: usize },
+    /// A target degree vector failed its dominance condition (DV-3):
+    /// `n'(k) > n*(k)`. Detected with `checked_sub` where the free-node
+    /// count `n*(k) − n'(k)` is formed — in release mode the raw
+    /// subtraction used to wrap around and request ~1.8e19 nodes.
+    DvDominanceViolated { k: u32, n_star: u64, n_prime: u64 },
+    /// A target joint degree matrix failed its dominance condition
+    /// (JDM-4): `m'(k,k') > m*(k,k')`. Same wraparound hazard on the
+    /// added-edge count `m*(k,k') − m'(k,k')`.
+    JdmDominanceViolated {
+        k: u32,
+        k2: u32,
+        m_star: u64,
+        m_prime: u64,
+    },
 }
 
 impl std::fmt::Display for DkError {
@@ -45,6 +59,21 @@ impl std::fmt::Display for DkError {
             DkError::LeftoverStubs { count } => {
                 write!(f, "{count} free stubs left unwired (JDM-3 violated)")
             }
+            DkError::DvDominanceViolated { k, n_star, n_prime } => write!(
+                f,
+                "degree vector dominance (DV-3) violated at k = {k}: \
+                 n*(k) = {n_star} < n'(k) = {n_prime}"
+            ),
+            DkError::JdmDominanceViolated {
+                k,
+                k2,
+                m_star,
+                m_prime,
+            } => write!(
+                f,
+                "joint degree matrix dominance (JDM-4) violated at ({k}, {k2}): \
+                 m*(k,k') = {m_star} < m'(k,k') = {m_prime}"
+            ),
         }
     }
 }

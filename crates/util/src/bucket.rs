@@ -1,0 +1,340 @@
+//! Bucketed minimum-cost selection: the two primitives behind the sparse
+//! incremental targeting engine (`sgr_core::target_dv` / `target_jdm`).
+//!
+//! Both replace per-unit linear scans with logarithmic or batched
+//! equivalents:
+//!
+//! * [`Fenwick`] — a binary indexed tree over `u64` counts. The target
+//!   degree vector's modification step draws a uniform slot from the
+//!   multiset in which degree `k` appears `n*(k) − n'(k)` times,
+//!   restricted to `k ≥ d'`; with a Fenwick tree over the slot counts the
+//!   suffix total and the draw are both O(log k_max) instead of an
+//!   O(k_max) scan per visible node.
+//! * [`allocate_min_cost`] — greedy consumption of a gap by ascending
+//!   per-unit cost over capacity *segments*. A per-unit greedy that
+//!   repeatedly picks the minimum-cost candidate is equivalent to sorting
+//!   the candidates' cost bands once and draining them in order — valid
+//!   exactly when every candidate's marginal cost is non-decreasing in the
+//!   number of units it absorbs, which holds for the targeting engine's
+//!   error terms `Δ±(k,k')` (piecewise linear in `m*` around `m̂`: a
+//!   `−1/m̂` band while moving toward the estimate, at most one
+//!   transitional unit, then `+1/m̂` forever).
+
+/// Binary indexed tree (Fenwick tree) over `u64` counts for keys `0..n`,
+/// supporting point update, prefix sum, and select-by-rank in O(log n).
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    /// 1-indexed tree storage; `tree[0]` unused.
+    tree: Vec<u64>,
+    /// Number of keys.
+    n: usize,
+}
+
+impl Fenwick {
+    /// Builds the tree from per-key counts in O(n).
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let n = counts.len();
+        let mut tree = vec![0u64; n + 1];
+        for (i, &c) in counts.iter().enumerate() {
+            let j = i + 1;
+            tree[j] += c;
+            let parent = j + (j & j.wrapping_neg());
+            if parent <= n {
+                tree[parent] = tree[parent].wrapping_add(tree[j]);
+            }
+        }
+        Self { tree, n }
+    }
+
+    /// Number of keys covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree covers no keys.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `delta` to the count of `key` (saturating at zero is the
+    /// caller's responsibility — counts are unsigned).
+    pub fn add(&mut self, key: usize, delta: i64) {
+        let mut j = key + 1;
+        while j <= self.n {
+            self.tree[j] = (self.tree[j] as i64 + delta) as u64;
+            j += j & j.wrapping_neg();
+        }
+    }
+
+    /// Sum of counts over keys `0..=key`.
+    pub fn prefix(&self, key: usize) -> u64 {
+        let mut j = (key + 1).min(self.n);
+        let mut s = 0;
+        while j > 0 {
+            s += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of counts over keys `lo..len()`.
+    pub fn suffix(&self, lo: usize) -> u64 {
+        let below = if lo == 0 { 0 } else { self.prefix(lo - 1) };
+        self.total() - below
+    }
+
+    /// Sum of all counts.
+    pub fn total(&self) -> u64 {
+        self.prefix(self.n.saturating_sub(1))
+    }
+
+    /// Smallest key whose prefix sum exceeds `rank` (i.e. the key owning
+    /// the `rank`-th unit, 0-indexed, in key order). `rank` must be below
+    /// [`Fenwick::total`].
+    pub fn select(&self, mut rank: u64) -> usize {
+        debug_assert!(rank < self.total(), "rank out of range");
+        let mut pos = 0usize;
+        let mut mask = self.n.next_power_of_two();
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.n && self.tree[next] <= rank {
+                rank -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos // 1-indexed child was descended past; `pos` is 0-indexed key.
+    }
+
+    /// The key owning the `rank`-th unit among keys `lo..len()` (0-indexed
+    /// within that suffix). `rank` must be below [`Fenwick::suffix`]`(lo)`.
+    pub fn select_in_suffix(&self, lo: usize, rank: u64) -> usize {
+        let below = if lo == 0 { 0 } else { self.prefix(lo - 1) };
+        self.select(below + rank)
+    }
+}
+
+/// One capacity segment offered to [`allocate_min_cost`]: up to `cap`
+/// units at per-unit cost `cost`, each unit contributing `weight` to the
+/// gap being filled (`weight = 2` models a diagonal JDM cell, whose
+/// increment moves its own marginal by two).
+#[derive(Clone, Copy, Debug)]
+pub struct CostSeg {
+    /// Caller-meaningful key (e.g. the degree `k'` of a JDM cell).
+    pub key: u32,
+    /// Gap contribution per unit (1 or 2 in the targeting engine).
+    pub weight: u64,
+    /// Maximum units this segment can absorb (`u64::MAX` = unbounded).
+    pub cap: u64,
+    /// Per-unit cost; ties are drained largest key first.
+    /// `f64::INFINITY` is a valid "only if nothing cheaper exists" cost.
+    pub cost: f64,
+}
+
+/// Drains `gap` units of demand from `segs` in ascending cost order
+/// (largest key first within a tie), appending `(key, units)` grants to
+/// `out` in drain order (a key may appear more than once — callers
+/// merge). Returns the gap left unfilled.
+///
+/// Exactly equivalent to the per-unit greedy it replaces — "repeatedly
+/// take one unit from the candidate whose *current* cost is minimal,
+/// largest key on ties" — provided every candidate's per-unit cost is
+/// non-decreasing in the units it has absorbed and its cost trajectory
+/// is encoded as consecutive segments:
+///
+/// * units are consumed strictly in non-decreasing cost order, largest
+///   key first within a tie (fully deterministic: no RNG);
+/// * when the remaining gap is exactly 1, weight-2 segments are skipped
+///   (the per-unit algorithms exclude the diagonal there so the marginal
+///   is hit exactly instead of overshot) and the scan continues into
+///   more expensive weight-1 segments.
+pub fn allocate_min_cost(segs: &mut [CostSeg], mut gap: u64, out: &mut Vec<(u32, u64)>) -> u64 {
+    if gap == 0 || segs.is_empty() {
+        return gap;
+    }
+    segs.sort_unstable_by(|a, b| a.cost.total_cmp(&b.cost).then(b.key.cmp(&a.key)));
+    for seg in segs.iter_mut() {
+        if gap == 0 {
+            break;
+        }
+        if seg.weight > gap {
+            continue; // gap == 1, diagonal segment: skip (see above).
+        }
+        let units = seg.cap.min(gap / seg.weight);
+        if units > 0 {
+            out.push((seg.key, units));
+            seg.cap -= units;
+            gap -= units * seg.weight;
+        }
+    }
+    gap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fenwick_prefix_suffix_total() {
+        let counts = [3u64, 0, 5, 2, 0, 1];
+        let f = Fenwick::from_counts(&counts);
+        assert_eq!(f.total(), 11);
+        assert_eq!(f.prefix(0), 3);
+        assert_eq!(f.prefix(2), 8);
+        assert_eq!(f.prefix(5), 11);
+        assert_eq!(f.suffix(0), 11);
+        assert_eq!(f.suffix(2), 8);
+        assert_eq!(f.suffix(3), 3);
+        assert_eq!(f.suffix(5), 1);
+    }
+
+    #[test]
+    fn fenwick_select_matches_linear_scan() {
+        let counts = [0u64, 4, 0, 3, 1, 0, 2];
+        let f = Fenwick::from_counts(&counts);
+        let mut expect = Vec::new();
+        for (k, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                expect.push(k);
+            }
+        }
+        for (rank, &k) in expect.iter().enumerate() {
+            assert_eq!(f.select(rank as u64), k, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn fenwick_select_in_suffix() {
+        let counts = [5u64, 1, 0, 2];
+        let f = Fenwick::from_counts(&counts);
+        // Suffix from key 1: units [1, 3, 3].
+        assert_eq!(f.suffix(1), 3);
+        assert_eq!(f.select_in_suffix(1, 0), 1);
+        assert_eq!(f.select_in_suffix(1, 1), 3);
+        assert_eq!(f.select_in_suffix(1, 2), 3);
+    }
+
+    #[test]
+    fn fenwick_updates() {
+        let mut f = Fenwick::from_counts(&[1, 1, 1, 1]);
+        f.add(1, 3);
+        f.add(3, -1);
+        assert_eq!(f.prefix(1), 5);
+        assert_eq!(f.total(), 6);
+        // Units in key order: [0, 1,1,1,1, 2].
+        assert_eq!(f.select(4), 1);
+        assert_eq!(f.select(5), 2);
+    }
+
+    #[test]
+    fn allocate_consumes_cheapest_first() {
+        let mut segs = vec![
+            CostSeg {
+                key: 1,
+                weight: 1,
+                cap: 2,
+                cost: 0.5,
+            },
+            CostSeg {
+                key: 2,
+                weight: 1,
+                cap: 10,
+                cost: -1.0,
+            },
+            CostSeg {
+                key: 3,
+                weight: 1,
+                cap: 1,
+                cost: 0.0,
+            },
+        ];
+        let mut out = Vec::new();
+        let left = allocate_min_cost(&mut segs, 12, &mut out);
+        assert_eq!(left, 0);
+        let mut merged = [0u64; 4];
+        for (k, u) in out {
+            merged[k as usize] += u;
+        }
+        assert_eq!(merged[2], 10); // cheapest fully drained
+        assert_eq!(merged[3], 1); // then the zero-cost unit
+        assert_eq!(merged[1], 1); // one unit of the expensive segment
+    }
+
+    #[test]
+    fn allocate_skips_diagonal_at_gap_one() {
+        // Weight-2 segment is cheapest, but an odd gap forces exactly one
+        // unit to come from the weight-1 segment.
+        let mut segs = vec![
+            CostSeg {
+                key: 9,
+                weight: 2,
+                cap: 100,
+                cost: -1.0,
+            },
+            CostSeg {
+                key: 4,
+                weight: 1,
+                cap: 100,
+                cost: 5.0,
+            },
+        ];
+        let mut out = Vec::new();
+        let left = allocate_min_cost(&mut segs, 7, &mut out);
+        assert_eq!(left, 0);
+        let diag: u64 = out.iter().filter(|(k, _)| *k == 9).map(|(_, u)| u).sum();
+        let off: u64 = out.iter().filter(|(k, _)| *k == 4).map(|(_, u)| u).sum();
+        assert_eq!(diag, 3);
+        assert_eq!(off, 1);
+    }
+
+    #[test]
+    fn allocate_reports_shortfall() {
+        let mut segs = vec![CostSeg {
+            key: 2,
+            weight: 1,
+            cap: 3,
+            cost: 1.0,
+        }];
+        let mut out = Vec::new();
+        let left = allocate_min_cost(&mut segs, 10, &mut out);
+        assert_eq!(left, 7);
+        assert_eq!(out, vec![(2, 3)]);
+    }
+
+    #[test]
+    fn allocate_only_diagonal_leaves_odd_unit() {
+        let mut segs = vec![CostSeg {
+            key: 1,
+            weight: 2,
+            cap: 50,
+            cost: 0.0,
+        }];
+        let mut out = Vec::new();
+        let left = allocate_min_cost(&mut segs, 9, &mut out);
+        assert_eq!(left, 1);
+        assert_eq!(out, vec![(1, 4)]);
+    }
+
+    #[test]
+    fn allocate_handles_infinite_costs_last() {
+        let mut segs = vec![
+            CostSeg {
+                key: 1,
+                weight: 1,
+                cap: u64::MAX,
+                cost: f64::INFINITY,
+            },
+            CostSeg {
+                key: 2,
+                weight: 1,
+                cap: 2,
+                cost: 3.0,
+            },
+        ];
+        let mut out = Vec::new();
+        let left = allocate_min_cost(&mut segs, 5, &mut out);
+        assert_eq!(left, 0);
+        let inf: u64 = out.iter().filter(|(k, _)| *k == 1).map(|(_, u)| u).sum();
+        assert_eq!(inf, 3);
+    }
+}

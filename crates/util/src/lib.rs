@@ -18,7 +18,12 @@
 //! * [`scratch`] — epoch-stamped dense scratch arenas that let hot loops
 //!   (notably the rewiring engine's swap evaluation) accumulate per-key
 //!   deltas with zero steady-state heap allocations and O(1) clears.
+//! * [`bucket`] — bucketed min-cost selection: a Fenwick tree for
+//!   logarithmic weighted draws and a batched minimum-cost allocator,
+//!   the primitives the sparse incremental targeting engine
+//!   (`sgr_core::target_dv` / `target_jdm`) is built from.
 
+pub mod bucket;
 pub mod hash;
 pub mod rng;
 pub mod sampling;
