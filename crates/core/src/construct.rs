@@ -2,7 +2,7 @@
 
 use crate::target_dv::TargetDv;
 use crate::target_jdm::TargetJdm;
-use sgr_dk::construct::wire_stubs;
+use sgr_dk::construct::{wire_stubs_with, ConstructScratch, MatchStats};
 use sgr_dk::extract::JointDegreeMatrix;
 use sgr_dk::DkError;
 use sgr_graph::{Graph, NodeId};
@@ -19,6 +19,13 @@ pub struct Built {
     pub added_edges: Vec<(NodeId, NodeId)>,
     /// Per-node target degrees actually used (subgraph nodes first).
     pub target_deg: Vec<u32>,
+    /// Wall time spent inside stub matching proper (step 5), excluding
+    /// node addition and degree-sequence shuffling — the
+    /// `stub_matching_seconds` split `bench_construct` reports.
+    pub stub_matching_secs: f64,
+    /// Matcher counters (self-loop accounting; see
+    /// [`sgr_dk::MatchStats`]).
+    pub match_stats: MatchStats,
 }
 
 /// Algorithm 5: extend the subgraph so the result preserves `{n*(k)}` and
@@ -36,6 +43,24 @@ pub fn extend_subgraph(
     dv: &TargetDv,
     jdm: &TargetJdm,
     rng: &mut Xoshiro256pp,
+) -> Result<Built, DkError> {
+    extend_subgraph_with(sg, dv, jdm, rng, &mut ConstructScratch::new())
+}
+
+/// [`extend_subgraph`] against caller-owned stub-matching scratch.
+///
+/// Behaviorally identical (the scratch never changes results — see the
+/// determinism model in [`sgr_dk::construct`]); a warm scratch makes the
+/// stub-matching step allocation-free, which is what the restore loop
+/// wants when it generates many graphs back to back
+/// ([`crate::restore_with`] / [`crate::gjoka::generate_with`] thread one
+/// through).
+pub fn extend_subgraph_with(
+    sg: &Subgraph,
+    dv: &TargetDv,
+    jdm: &TargetJdm,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut ConstructScratch,
 ) -> Result<Built, DkError> {
     let n_sub = sg.num_nodes();
     let n_total = dv.num_nodes() as usize;
@@ -88,11 +113,16 @@ pub fn extend_subgraph(
         }
     }
 
-    let added_edges = wire_stubs(&mut g, &target_deg, &add, rng)?;
+    let t = std::time::Instant::now();
+    let (edges, match_stats) = wire_stubs_with(&mut g, &target_deg, &add, rng, scratch)?;
+    let stub_matching_secs = t.elapsed().as_secs_f64();
+    let added_edges = edges.to_vec();
     Ok(Built {
         graph: g,
         added_edges,
         target_deg,
+        stub_matching_secs,
+        match_stats,
     })
 }
 
@@ -197,6 +227,53 @@ mod tests {
             }
             other => panic!("expected DvDominanceViolated, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn corrupted_add_map_is_a_typed_out_of_stubs_error() {
+        // Inflate one JDM cell so the derived `add` map requests more
+        // `(k, k')` edges than the class's stub pool can supply. The
+        // matcher must fail with a typed OutOfStubs carrying placement
+        // context — never silently skip the remainder of the pair.
+        let (sg, est) = setup(300, 0.1, 6);
+        let mut rng = Xoshiro256pp::seed_from_u64(83);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let mut jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
+        let (k, k2, star, _) = jdm
+            .upper_entries()
+            .find(|&(k, _, star, _)| k > 0 && star > 0)
+            .expect("some populated cell");
+        // Request far more edges of this class pair than stubs exist.
+        jdm.set(k, k2, star + 1_000_000);
+        match extend_subgraph(&sg, &dv, &jdm, &mut rng) {
+            Err(DkError::OutOfStubs {
+                k: ek,
+                k2: ek2,
+                placed,
+                requested,
+            }) => {
+                assert_eq!((ek as usize, ek2 as usize), (k, k2));
+                assert!(
+                    placed < requested,
+                    "error context inconsistent: placed {placed} of {requested}"
+                );
+            }
+            other => panic!("expected OutOfStubs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stub_matching_stats_account_for_added_edges() {
+        let (sg, est) = setup(400, 0.1, 8);
+        let mut rng = Xoshiro256pp::seed_from_u64(84);
+        let mut dv = target_dv::build(&sg, &est, &mut rng);
+        let jdm = target_jdm::build(&sg, &est, &mut dv).unwrap();
+        let built = extend_subgraph(&sg, &dv, &jdm, &mut rng).unwrap();
+        assert_eq!(built.match_stats.edges, built.added_edges.len());
+        // The subgraph is simple, so every self-loop in the result came
+        // from the matcher and must be accounted.
+        assert_eq!(built.match_stats.self_loops, built.graph.num_self_loops());
+        assert!(built.stub_matching_secs >= 0.0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! several-fold rewiring-time gap).
 
 use crate::{RestoreConfig, RestoreError, RestoreStats};
-use sgr_dk::construct::wire_stubs;
+use sgr_dk::construct::{wire_stubs_with, ConstructScratch};
 use sgr_dk::extract::JointDegreeMatrix;
 use sgr_dk::rewire::RewireStats;
 use sgr_estimate::{estimate_all, Estimates};
@@ -43,6 +43,18 @@ pub fn generate(
     cfg: &RestoreConfig,
     rng: &mut Xoshiro256pp,
 ) -> Result<GjokaOutput, RestoreError> {
+    generate_with(crawl, cfg, rng, &mut ConstructScratch::new())
+}
+
+/// [`generate`] against caller-owned stub-matching scratch (identical
+/// results; a warm scratch makes the construction phase's stub matching
+/// allocation-free — see [`crate::restore_with`]).
+pub fn generate_with(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut ConstructScratch,
+) -> Result<GjokaOutput, RestoreError> {
     if crawl.num_queried() == 0 {
         return Err(RestoreError::EmptyCrawl);
     }
@@ -71,7 +83,10 @@ pub fn generate(
             add.insert((k as u32, k2 as u32), star);
         }
     }
-    let added = wire_stubs(&mut g, &dseq, &add, rng)?;
+    let tm = std::time::Instant::now();
+    let (added_slice, _match_stats) = wire_stubs_with(&mut g, &dseq, &add, rng, scratch)?;
+    let stub_matching_secs = tm.elapsed().as_secs_f64();
+    let added = added_slice.to_vec();
     let construct_secs = t1.elapsed().as_secs_f64();
 
     // Rewiring with every edge as a candidate (Ẽ_rew = Ẽ).
@@ -97,6 +112,7 @@ pub fn generate(
     let stats = RestoreStats {
         target_secs,
         construct_secs,
+        stub_matching_secs,
         rewire_secs,
         rewire_stats,
         nodes: graph.num_nodes(),

@@ -140,6 +140,10 @@ pub struct RestoreStats {
     pub target_secs: f64,
     /// Wall time of Phase 3 (adding nodes and edges).
     pub construct_secs: f64,
+    /// Wall time of stub matching proper within Phase 3 (wiring free
+    /// half-edges class by class), excluding node addition and
+    /// degree-sequence shuffling.
+    pub stub_matching_secs: f64,
     /// Wall time of Phase 4 (rewiring).
     pub rewire_secs: f64,
     /// Rewiring detail.
@@ -183,6 +187,21 @@ pub fn restore(
     cfg: &RestoreConfig,
     rng: &mut Xoshiro256pp,
 ) -> Result<Restored, RestoreError> {
+    restore_with(crawl, cfg, rng, &mut sgr_dk::ConstructScratch::new())
+}
+
+/// [`restore`] against caller-owned stub-matching scratch.
+///
+/// Results are identical (the scratch never changes the RNG stream — see
+/// the determinism model in [`sgr_dk::construct`]); holding one scratch
+/// across repeated restorations makes each run's stub-matching phase
+/// allocation-free after the first.
+pub fn restore_with(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+) -> Result<Restored, RestoreError> {
     if crawl.num_queried() == 0 {
         return Err(RestoreError::EmptyCrawl);
     }
@@ -198,8 +217,9 @@ pub fn restore(
 
     // Phase 3: add nodes and edges (Algorithm 5).
     let t1 = std::time::Instant::now();
-    let built = construct::extend_subgraph(&subgraph, &dv, &jdm, rng)?;
+    let built = construct::extend_subgraph_with(&subgraph, &dv, &jdm, rng, scratch)?;
     let construct_secs = t1.elapsed().as_secs_f64();
+    let stub_matching_secs = built.stub_matching_secs;
 
     // Phase 4: rewiring over added edges only (Algorithm 6).
     let t2 = std::time::Instant::now();
@@ -223,6 +243,7 @@ pub fn restore(
     let stats = RestoreStats {
         target_secs,
         construct_secs,
+        stub_matching_secs,
         rewire_secs,
         rewire_stats,
         nodes: graph.num_nodes(),

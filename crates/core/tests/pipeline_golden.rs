@@ -1,0 +1,103 @@
+//! End-to-end RNG-stream regression: fixed-seed restorations must keep
+//! producing the committed edge multisets.
+//!
+//! Every phase of the pipeline draws from one sequential RNG, so any
+//! change to an upstream phase's draw pattern (an extra `gen_range`, a
+//! reordered pair, a retried draw) silently reshuffles everything
+//! downstream — the stub matcher feeds the rewiring phase both its graph
+//! and its candidate order. These tests pin the full stream with a golden
+//! hash over the final edge multiset: an engine rewrite (like the
+//! flat-arena stub matcher) is only stream-preserving if they still pass.
+//! If one fails on an *intentional* contract change, regenerate the
+//! constant deliberately and say so in the commit — never bury a stream
+//! change in an unrelated diff. The per-phase contracts live in the
+//! "Determinism model" sections of `sgr_dk::construct` and
+//! `sgr_dk::rewire`; a matcher-only golden lives in
+//! `crates/dk/tests/construct_proptests.rs`.
+
+use sgr_core::{gjoka, restore, RestoreConfig};
+use sgr_graph::{Graph, NodeId};
+use sgr_sample::random_walk_until_fraction;
+use sgr_util::rng::SplitMix64;
+use sgr_util::Xoshiro256pp;
+
+/// Chained SplitMix64 over the sorted edge multiset (multi-edges keep
+/// their copies, self-loops included): one u64 summarizing the graph.
+fn edge_multiset_hash(g: &Graph) -> u64 {
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.sort_unstable();
+    let mut h = 0x5851_f42d_4c95_7f2du64;
+    for &(u, v) in &edges {
+        h = SplitMix64::new(h ^ (((u as u64) << 32) | v as u64)).next_u64();
+    }
+    h
+}
+
+fn fixed_crawl(n: usize, seed: u64) -> (sgr_sample::Crawl, Xoshiro256pp) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let g = sgr_gen::holme_kim(n, 4, 0.5, &mut rng).unwrap();
+    let crawl = random_walk_until_fraction(&g, 0.1, &mut rng);
+    (crawl, rng)
+}
+
+#[test]
+fn restore_full_stream_matches_committed_golden() {
+    let (crawl, mut rng) = fixed_crawl(400, 31);
+    let cfg = RestoreConfig {
+        rewiring_coefficient: 10.0,
+        rewire: true,
+        threads: 1,
+    };
+    let r = restore(&crawl, &cfg, &mut rng).unwrap();
+    assert_eq!(
+        edge_multiset_hash(&r.graph),
+        0xeb3e_fbcf_c317_9783,
+        "the proposed method's RNG stream changed \
+         (nodes {}, edges {})",
+        r.graph.num_nodes(),
+        r.graph.num_edges()
+    );
+}
+
+#[test]
+fn gjoka_full_stream_matches_committed_golden() {
+    let (crawl, mut rng) = fixed_crawl(400, 37);
+    let cfg = RestoreConfig {
+        rewiring_coefficient: 10.0,
+        rewire: true,
+        threads: 1,
+    };
+    let out = gjoka::generate(&crawl, &cfg, &mut rng).unwrap();
+    assert_eq!(
+        edge_multiset_hash(&out.graph),
+        0x3413_f775_b656_3ebe,
+        "the Gjoka baseline's RNG stream changed \
+         (nodes {}, edges {})",
+        out.graph.num_nodes(),
+        out.graph.num_edges()
+    );
+}
+
+#[test]
+fn construction_only_stream_matches_committed_golden() {
+    // rewire: false isolates phases 1-3: estimation, targeting (which
+    // consumes no RNG), node addition + degree shuffle, stub matching.
+    // If this one breaks while the full-stream tests break too, the
+    // change is upstream of rewiring; if only the full-stream tests
+    // break, rewiring's own stream moved.
+    let (crawl, mut rng) = fixed_crawl(400, 31);
+    let cfg = RestoreConfig {
+        rewiring_coefficient: 10.0,
+        rewire: false,
+        threads: 1,
+    };
+    let r = restore(&crawl, &cfg, &mut rng).unwrap();
+    assert_eq!(
+        edge_multiset_hash(&r.graph),
+        0xc101_d561_bcc6_e8b5,
+        "the pre-rewiring (construction) RNG stream changed \
+         (nodes {}, edges {})",
+        r.graph.num_nodes(),
+        r.graph.num_edges()
+    );
+}

@@ -7,10 +7,62 @@
 //! gets `d* - d` free half-edges ("stubs"), and for every degree pair
 //! `(k, k')` the requested number of edges is created by connecting a
 //! uniformly random free stub of class `k` with one of class `k'`.
+//!
+//! Two engines implement that contract:
+//!
+//! * [`wire_stubs`] / [`wire_stubs_with`] — the production engine. All
+//!   per-class stub pools live in one flat arena
+//!   ([`sgr_util::arena::FlatPools`]) with per-class offset ranges and
+//!   swap-remove draws against per-class live lengths; every internal
+//!   buffer sits in a reusable [`ConstructScratch`], so a warm call
+//!   performs **zero heap allocations** inside the matcher.
+//! * [`reference::wire_stubs`] — the original per-class `Vec<Vec<_>>`
+//!   implementation, kept as the oracle the property suite
+//!   (`crates/dk/tests/construct_proptests.rs`) holds the flat engine
+//!   bitwise-equal to.
+//!
+//! # Determinism model
+//!
+//! The matcher's output is a pure function of `(graph, target_deg, add,
+//! rng seed)`; both engines honor the same contract, draw for draw:
+//!
+//! * **Pair order.** Requested class pairs are wired in ascending
+//!   `(k, k')` order over the upper-triangular keys of `add` (`k ≤ k'`;
+//!   symmetric duplicates and zero counts are ignored), each pair's
+//!   edges placed consecutively.
+//! * **Stub pool order.** Class `k`'s pool initially holds each node's id
+//!   repeated once per free stub, in ascending node order; removal is
+//!   `swap_remove` (the class's last live stub fills the drawn slot).
+//! * **RNG stream.** A diagonal edge (`k = k'`) consumes exactly two
+//!   draws — `gen_range(len)` then `gen_range(len - 1)`, the second
+//!   shifted past the first so the two *slots* are always distinct — and
+//!   an off-diagonal edge consumes `gen_range(len_k)` then
+//!   `gen_range(len_k')`. Nothing else consumes RNG, so the generator
+//!   leaves the matcher in the same state under either engine (the
+//!   end-to-end golden test in `crates/core/tests/pipeline_golden.rs`
+//!   pins the whole downstream stream).
+//! * **Retry policy: none.** Draws are committed as drawn. A pair of
+//!   stubs that forms a parallel edge is kept, and a diagonal-class draw
+//!   that picks two stubs of the *same* node (possible whenever a node
+//!   holds ≥ 2 free stubs in its class) is kept as a self-loop; both are
+//!   artifacts the rewiring phase resolves, and both are surfaced by
+//!   [`MatchStats`] and the returned edge list rather than silently
+//!   retried. Distinct *slots* are guaranteed, so a node with at most
+//!   one free stub can never acquire a self-loop here — the no-self-loop
+//!   invariant the property suite checks.
+//! * **Saturation.** A class that cannot place a requested pair — fewer
+//!   than two live stubs on a diagonal draw, an empty side on an
+//!   off-diagonal draw, or a class beyond the largest target degree —
+//!   fails with [`DkError::OutOfStubs`] carrying the pair, how many of
+//!   its edges were already placed, and how many were requested; it
+//!   never silently skips the remainder.
 
 use crate::extract::JointDegreeMatrix;
 use sgr_graph::{Graph, NodeId};
+use sgr_util::arena::FlatPools;
 use sgr_util::Xoshiro256pp;
+
+pub mod reference;
 
 /// Errors from stub matching.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,8 +73,16 @@ pub enum DkError {
         current: usize,
         target: usize,
     },
-    /// A degree class ran out of free stubs while wiring `(k, k')`.
-    OutOfStubs { k: u32, k2: u32 },
+    /// A degree class ran out of free stubs while wiring `(k, k')`:
+    /// `placed` of the `requested` edges were wired before the pool ran
+    /// dry (also raised with `placed = 0` when a requested class exceeds
+    /// the largest target degree, i.e. has no pool at all).
+    OutOfStubs {
+        k: u32,
+        k2: u32,
+        placed: u64,
+        requested: u64,
+    },
     /// Free stubs remained after wiring every requested edge, i.e. the
     /// inputs violated the marginal identity (JDM-3).
     LeftoverStubs { count: usize },
@@ -53,8 +113,17 @@ impl std::fmt::Display for DkError {
                 f,
                 "node {node} has degree {current} above its target {target}"
             ),
-            DkError::OutOfStubs { k, k2 } => {
-                write!(f, "no free stub left while wiring degree pair ({k}, {k2})")
+            DkError::OutOfStubs {
+                k,
+                k2,
+                placed,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "no free stub left while wiring degree pair ({k}, {k2}): \
+                     placed {placed} of {requested} requested edges"
+                )
             }
             DkError::LeftoverStubs { count } => {
                 write!(f, "{count} free stubs left unwired (JDM-3 violated)")
@@ -80,6 +149,42 @@ impl std::fmt::Display for DkError {
 
 impl std::error::Error for DkError {}
 
+/// Counters from one stub-matching run (identical under both engines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Edges added (the length of the returned edge list).
+    pub edges: usize,
+    /// How many of those edges are self-loops — diagonal-class draws that
+    /// picked two free stubs of the same node (see the module-level
+    /// determinism model: such draws are kept, not retried).
+    pub self_loops: usize,
+}
+
+/// Reusable buffers for [`wire_stubs_with`]: the flat stub arena, the
+/// per-class stub counts, the sorted pair worklist, and the output edge
+/// list. A warm scratch (one whose buffers have grown to the workload's
+/// high-water mark) makes the matcher allocation-free; keep one alive
+/// across the repeated `construct` / `gjoka::generate` calls of a restore
+/// loop (`sgr_core::restore_with` and `generate_with` thread it through).
+#[derive(Clone, Debug, Default)]
+pub struct ConstructScratch {
+    /// Free-stub pools, one class per target degree, in one flat arena.
+    pools: FlatPools<NodeId>,
+    /// Per-class free-stub counts (layout pass for `pools`).
+    counts: Vec<usize>,
+    /// Requested `((k, k'), count)` pairs, sorted ascending.
+    pairs: Vec<((u32, u32), u64)>,
+    /// Added edges, normalized `(min, max)`.
+    added: Vec<(NodeId, NodeId)>,
+}
+
+impl ConstructScratch {
+    /// Creates an empty scratch; the first call sizes every buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Wires stubs on top of `g` (possibly non-empty), in place.
 ///
 /// * `target_deg[u]` — the target degree `d*_u` of every node;
@@ -90,17 +195,56 @@ impl std::error::Error for DkError {}
 /// Returns the list of added edges (the rewiring phase's candidate set).
 /// On success the graph preserves `target_deg` exactly, and its JDM (with
 /// respect to *target* degrees) equals the prior JDM plus `add`.
+///
+/// Convenience wrapper over [`wire_stubs_with`] with a fresh
+/// [`ConstructScratch`]; callers in a loop should hold a scratch and call
+/// `wire_stubs_with` directly to make warm calls allocation-free.
 pub fn wire_stubs(
     g: &mut Graph,
     target_deg: &[u32],
     add: &JointDegreeMatrix,
     rng: &mut Xoshiro256pp,
 ) -> Result<Vec<(NodeId, NodeId)>, DkError> {
+    let mut scratch = ConstructScratch::new();
+    wire_stubs_with(g, target_deg, add, rng, &mut scratch)?;
+    // The scratch is ours alone: move the edge list out instead of
+    // copying it.
+    Ok(std::mem::take(&mut scratch.added))
+}
+
+/// Successful outcome of [`wire_stubs_with`]: the added-edge list
+/// (borrowing the scratch until its next use) and the matcher counters.
+pub type WireOutcome<'s> = (&'s [(NodeId, NodeId)], MatchStats);
+
+/// [`wire_stubs`] against caller-owned scratch: the flat-arena engine.
+///
+/// Behaviorally identical to [`reference::wire_stubs`] — same RNG draw
+/// sequence, same pair ordering, same errors, bitwise-identical output
+/// (see the module-level determinism model) — but every internal buffer
+/// lives in `scratch`, so a warm call performs zero heap allocations
+/// inside the matcher. The returned edge slice borrows `scratch` and is
+/// valid until its next use.
+pub fn wire_stubs_with<'s>(
+    g: &mut Graph,
+    target_deg: &[u32],
+    add: &JointDegreeMatrix,
+    rng: &mut Xoshiro256pp,
+    scratch: &'s mut ConstructScratch,
+) -> Result<WireOutcome<'s>, DkError> {
     assert_eq!(target_deg.len(), g.num_nodes(), "target length mismatch");
+    let ConstructScratch {
+        pools,
+        counts,
+        pairs,
+        added,
+    } = scratch;
+
     let k_max = target_deg.iter().copied().max().unwrap_or(0) as usize;
-    // Stub pools per target-degree class: node id repeated once per free
-    // half-edge.
-    let mut stubs: Vec<Vec<NodeId>> = vec![Vec::new(); k_max + 1];
+    // Layout pass: free-stub count per target-degree class, surfacing a
+    // target below the current degree at the first offending node (the
+    // same node the reference engine reports).
+    counts.clear();
+    counts.resize(k_max + 1, 0);
     let mut total_stubs = 0usize;
     for u in g.nodes() {
         let cur = g.degree(u);
@@ -112,26 +256,57 @@ pub fn wire_stubs(
                 target: tgt,
             });
         }
-        for _ in 0..(tgt - cur) {
-            stubs[tgt].push(u);
-        }
+        counts[tgt] += tgt - cur;
         total_stubs += tgt - cur;
     }
+    // Every node ends at exactly its target degree, so the adjacency
+    // lists' final sizes are known now: reserving once up front turns
+    // the wiring loop's ~log(deg) growth reallocations per node into
+    // none at all (and is a no-op when the caller pre-reserved).
+    g.reserve_neighbors(target_deg);
+    // Fill pass: node id repeated once per free stub, ascending node
+    // order within each class — the reference engine's pool order.
+    pools.reset(counts);
+    for u in g.nodes() {
+        let tgt = target_deg[u as usize] as usize;
+        for _ in 0..(tgt - g.degree(u)) {
+            pools.push(tgt, u);
+        }
+    }
+
     // Deterministic iteration order over the requested pairs.
-    let mut pairs: Vec<((u32, u32), u64)> = add
-        .iter()
-        .filter(|(&(k, k2), &c)| k <= k2 && c > 0)
-        .map(|(&kk, &c)| (kk, c))
-        .collect();
+    pairs.clear();
+    pairs.extend(
+        add.iter()
+            .filter(|(&(k, k2), &c)| k <= k2 && c > 0)
+            .map(|(&kk, &c)| (kk, c)),
+    );
     pairs.sort_unstable();
-    let mut added: Vec<(NodeId, NodeId)> =
-        Vec::with_capacity(pairs.iter().map(|&(_, c)| c as usize).sum());
-    for ((k, k2), count) in pairs {
-        for _ in 0..count {
+
+    added.clear();
+    added.reserve(pairs.iter().map(|&(_, c)| c as usize).sum());
+    let mut stats = MatchStats::default();
+    for &((k, k2), count) in pairs.iter() {
+        if k as usize > k_max || k2 as usize > k_max {
+            // No node has this target degree: the class has no pool at
+            // all, not merely an empty one.
+            return Err(DkError::OutOfStubs {
+                k,
+                k2,
+                placed: 0,
+                requested: count,
+            });
+        }
+        for placed in 0..count {
             let (u, v) = if k == k2 {
-                let pool_len = stubs[k as usize].len();
+                let pool_len = pools.len(k as usize);
                 if pool_len < 2 {
-                    return Err(DkError::OutOfStubs { k, k2 });
+                    return Err(DkError::OutOfStubs {
+                        k,
+                        k2,
+                        placed,
+                        requested: count,
+                    });
                 }
                 let i = rng.gen_range(pool_len);
                 let mut j = rng.gen_range(pool_len - 1);
@@ -140,28 +315,35 @@ pub fn wire_stubs(
                 }
                 // Remove the higher index first so the lower stays valid.
                 let (hi, lo) = if i > j { (i, j) } else { (j, i) };
-                let u = stubs[k as usize].swap_remove(hi);
-                let v = stubs[k as usize].swap_remove(lo);
+                let u = pools.swap_remove(k as usize, hi);
+                let v = pools.swap_remove(k as usize, lo);
                 (u, v)
             } else {
-                if stubs[k as usize].is_empty() || stubs[k2 as usize].is_empty() {
-                    return Err(DkError::OutOfStubs { k, k2 });
+                if pools.is_empty(k as usize) || pools.is_empty(k2 as usize) {
+                    return Err(DkError::OutOfStubs {
+                        k,
+                        k2,
+                        placed,
+                        requested: count,
+                    });
                 }
-                let i = rng.gen_range(stubs[k as usize].len());
-                let j = rng.gen_range(stubs[k2 as usize].len());
-                let u = stubs[k as usize].swap_remove(i);
-                let v = stubs[k2 as usize].swap_remove(j);
+                let i = rng.gen_range(pools.len(k as usize));
+                let j = rng.gen_range(pools.len(k2 as usize));
+                let u = pools.swap_remove(k as usize, i);
+                let v = pools.swap_remove(k2 as usize, j);
                 (u, v)
             };
             g.add_edge(u, v);
             added.push(if u <= v { (u, v) } else { (v, u) });
+            stats.edges += 1;
+            stats.self_loops += usize::from(u == v);
             total_stubs -= 2;
         }
     }
     if total_stubs != 0 {
         return Err(DkError::LeftoverStubs { count: total_stubs });
     }
-    Ok(added)
+    Ok((&added[..], stats))
 }
 
 #[cfg(test)]
@@ -243,10 +425,34 @@ mod tests {
         let target = [1u32, 1];
         let mut add: JointDegreeMatrix = FxHashMap::default();
         add.insert((1, 1), 2); // needs 4 stubs, only 2 exist
-        assert!(matches!(
-            wire_stubs(&mut g, &target, &add, &mut rng()),
-            Err(DkError::OutOfStubs { .. })
-        ));
+        match wire_stubs(&mut g, &target, &add, &mut rng()) {
+            Err(DkError::OutOfStubs {
+                k: 1,
+                k2: 1,
+                placed: 1,
+                requested: 2,
+            }) => {}
+            other => panic!("expected OutOfStubs with placement context, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_class_beyond_k_max() {
+        // A requested class with no pool at all (beyond the largest
+        // target degree) must be a typed error, not an index panic.
+        let mut g = Graph::with_nodes(2);
+        let target = [1u32, 1];
+        let mut add: JointDegreeMatrix = FxHashMap::default();
+        add.insert((1, 7), 1);
+        match wire_stubs(&mut g, &target, &add, &mut rng()) {
+            Err(DkError::OutOfStubs {
+                k: 1,
+                k2: 7,
+                placed: 0,
+                requested: 1,
+            }) => {}
+            other => panic!("expected OutOfStubs, got {other:?}"),
+        }
     }
 
     #[test]
@@ -272,6 +478,30 @@ mod tests {
             wire_stubs(&mut g, &[1, 1], &add, &mut r).unwrap();
             assert!(g.has_edge(0, 1));
             assert_eq!(g.num_self_loops(), 0);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        // Same seed through a fresh scratch and a reused one: identical
+        // output and stats.
+        let mut scratch = ConstructScratch::new();
+        let mut last: Option<(Vec<(NodeId, NodeId)>, MatchStats)> = None;
+        for round in 0..3 {
+            let mut g = Graph::with_nodes(8);
+            let target = [1u32, 1, 1, 1, 2, 2, 3, 3];
+            let mut add: JointDegreeMatrix = FxHashMap::default();
+            add.insert((1, 3), 4);
+            add.insert((2, 2), 1);
+            add.insert((2, 3), 2);
+            let mut r = Xoshiro256pp::seed_from_u64(1234);
+            let (edges, stats) =
+                wire_stubs_with(&mut g, &target, &add, &mut r, &mut scratch).unwrap();
+            let run = (edges.to_vec(), stats);
+            if let Some(prev) = &last {
+                assert_eq!(prev, &run, "round {round} diverged under scratch reuse");
+            }
+            last = Some(run);
         }
     }
 

@@ -1,0 +1,115 @@
+//! The original per-class `Vec<Vec<_>>` stub-matching engine, kept as the
+//! oracle for the flat-arena engine.
+//!
+//! This is the implementation [`super::wire_stubs`] shipped with before
+//! the flat-arena rewrite, unchanged in behavior: one growable pool per
+//! target-degree class, allocated fresh on every call. It consumes the
+//! same RNG stream, wires pairs in the same order, and raises the same
+//! errors as the production engine (see the determinism model in
+//! [`super`]); the property suite in
+//! `crates/dk/tests/construct_proptests.rs` holds the two bitwise-equal —
+//! the same oracle pattern `sgr_core::target_jdm::reference` uses for the
+//! targeting engine.
+
+use super::{DkError, MatchStats};
+use crate::extract::JointDegreeMatrix;
+use sgr_graph::{Graph, NodeId};
+use sgr_util::Xoshiro256pp;
+
+/// Reference [`super::wire_stubs`]: identical contract and output, fresh
+/// per-class pool allocations per call. Returns the added edges and the
+/// same [`MatchStats`] the production engine reports.
+pub fn wire_stubs(
+    g: &mut Graph,
+    target_deg: &[u32],
+    add: &JointDegreeMatrix,
+    rng: &mut Xoshiro256pp,
+) -> Result<(Vec<(NodeId, NodeId)>, MatchStats), DkError> {
+    assert_eq!(target_deg.len(), g.num_nodes(), "target length mismatch");
+    let k_max = target_deg.iter().copied().max().unwrap_or(0) as usize;
+    // Stub pools per target-degree class: node id repeated once per free
+    // half-edge.
+    let mut stubs: Vec<Vec<NodeId>> = vec![Vec::new(); k_max + 1];
+    let mut total_stubs = 0usize;
+    for u in g.nodes() {
+        let cur = g.degree(u);
+        let tgt = target_deg[u as usize] as usize;
+        if tgt < cur {
+            return Err(DkError::TargetBelowCurrent {
+                node: u,
+                current: cur,
+                target: tgt,
+            });
+        }
+        for _ in 0..(tgt - cur) {
+            stubs[tgt].push(u);
+        }
+        total_stubs += tgt - cur;
+    }
+    // Deterministic iteration order over the requested pairs.
+    let mut pairs: Vec<((u32, u32), u64)> = add
+        .iter()
+        .filter(|(&(k, k2), &c)| k <= k2 && c > 0)
+        .map(|(&kk, &c)| (kk, c))
+        .collect();
+    pairs.sort_unstable();
+    let mut added: Vec<(NodeId, NodeId)> =
+        Vec::with_capacity(pairs.iter().map(|&(_, c)| c as usize).sum());
+    let mut stats = MatchStats::default();
+    for ((k, k2), count) in pairs {
+        if k as usize > k_max || k2 as usize > k_max {
+            return Err(DkError::OutOfStubs {
+                k,
+                k2,
+                placed: 0,
+                requested: count,
+            });
+        }
+        for placed in 0..count {
+            let (u, v) = if k == k2 {
+                let pool_len = stubs[k as usize].len();
+                if pool_len < 2 {
+                    return Err(DkError::OutOfStubs {
+                        k,
+                        k2,
+                        placed,
+                        requested: count,
+                    });
+                }
+                let i = rng.gen_range(pool_len);
+                let mut j = rng.gen_range(pool_len - 1);
+                if j >= i {
+                    j += 1;
+                }
+                // Remove the higher index first so the lower stays valid.
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                let u = stubs[k as usize].swap_remove(hi);
+                let v = stubs[k as usize].swap_remove(lo);
+                (u, v)
+            } else {
+                if stubs[k as usize].is_empty() || stubs[k2 as usize].is_empty() {
+                    return Err(DkError::OutOfStubs {
+                        k,
+                        k2,
+                        placed,
+                        requested: count,
+                    });
+                }
+                let i = rng.gen_range(stubs[k as usize].len());
+                let j = rng.gen_range(stubs[k2 as usize].len());
+                let u = stubs[k as usize].swap_remove(i);
+                let v = stubs[k2 as usize].swap_remove(j);
+                (u, v)
+            };
+            g.add_edge(u, v);
+            added.push(if u <= v { (u, v) } else { (v, u) });
+            stats.edges += 1;
+            stats.self_loops += usize::from(u == v);
+            total_stubs -= 2;
+        }
+    }
+    if total_stubs != 0 {
+        return Err(DkError::LeftoverStubs { count: total_stubs });
+    }
+    Ok((added, stats))
+}

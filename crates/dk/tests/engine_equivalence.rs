@@ -16,49 +16,9 @@ use sgr_dk::rewire::RewireEngine;
 use sgr_graph::{Graph, NodeId};
 use sgr_props::local::LocalProperties;
 use sgr_util::Xoshiro256pp;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
 
-/// Global allocator that counts allocations on the current thread while
-/// armed. Used to prove swap attempts are allocation-free.
-struct CountingAlloc;
-
-thread_local! {
-    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
-    static ARMED: Cell<bool> = const { Cell::new(false) };
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.with(|a| a.get()) {
-            ALLOC_COUNT.with(|c| c.set(c.get() + 1));
-        }
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.with(|a| a.get()) {
-            ALLOC_COUNT.with(|c| c.set(c.get() + 1));
-        }
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
-#[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Runs `f` with allocation counting armed; returns its allocation count.
-fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    ALLOC_COUNT.with(|c| c.set(0));
-    ARMED.with(|a| a.set(true));
-    let r = f();
-    ARMED.with(|a| a.set(false));
-    (ALLOC_COUNT.with(|c| c.get()), r)
-}
+mod common;
+use common::count_allocs;
 
 fn sorted_edges(g: &Graph) -> Vec<(NodeId, NodeId)> {
     let mut e: Vec<_> = g.edges().collect();

@@ -69,6 +69,25 @@ impl Graph {
         }
     }
 
+    /// Reserves neighbor-list capacity so node `u` can reach degree
+    /// `degrees[u]` without reallocating (self-loops store two entries
+    /// but also count twice toward the degree, so the target degree *is*
+    /// the required entry count). Used before bulk edge insertion — e.g.
+    /// stub matching toward a known target degree vector — to keep the
+    /// insertion loop allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `degrees.len()` differs from the node count.
+    pub fn reserve_neighbors(&mut self, degrees: &[u32]) {
+        assert_eq!(degrees.len(), self.adj.len(), "degree length mismatch");
+        for (nbrs, &d) in self.adj.iter_mut().zip(degrees) {
+            let want = d as usize;
+            if want > nbrs.len() {
+                nbrs.reserve_exact(want - nbrs.len());
+            }
+        }
+    }
+
     /// Appends a new isolated node, returning its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adj.push(Vec::new());

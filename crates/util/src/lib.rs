@@ -22,7 +22,12 @@
 //!   logarithmic weighted draws and a batched minimum-cost allocator,
 //!   the primitives the sparse incremental targeting engine
 //!   (`sgr_core::target_dv` / `target_jdm`) is built from.
+//! * [`arena`] — flat multi-pool arenas: many draw-by-index pools packed
+//!   into one backing vector with per-class offset ranges, the layout the
+//!   stub-matching engine (`sgr_dk::construct`) keeps its free half-edge
+//!   pools in.
 
+pub mod arena;
 pub mod bucket;
 pub mod hash;
 pub mod rng;
