@@ -24,7 +24,12 @@
 //!   timed run is cold (fresh scratch — comparable with earlier PRs'
 //!   committed numbers); a second run on the warmed
 //!   [`ConstructScratch`] with a cloned RNG reports the allocation-free
-//!   steady state (`warm_stub_matching_seconds`) a restore loop sees.
+//!   steady state (`warm_stub_matching_seconds`) a restore loop sees;
+//! * `checkpoint` — one round trip of the constructed graph through the
+//!   on-disk snapshot container (the container the resumable-restore
+//!   checkpoints are built on): write and load wall time plus file size,
+//!   gated on bitwise fidelity by
+//!   [`sgr_bench::harness::checkpoint_round_trip`].
 //!
 //! CI gates `targeting_seconds ≤ 2 × construct_seconds` and the split
 //! sanity `stub_matching_seconds ≤ construct_seconds` at 100k (see
@@ -60,6 +65,9 @@ struct SizeResult {
     construct_secs: f64,
     stub_matching_secs: f64,
     warm_stub_matching_secs: f64,
+    checkpoint_bytes: u64,
+    checkpoint_write_secs: f64,
+    checkpoint_load_secs: f64,
 }
 
 fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
@@ -108,6 +116,16 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
         "scratch reuse changed the construction output"
     );
 
+    // Checkpoint round trip of the constructed graph through the snapshot
+    // container, gated on bitwise fidelity.
+    let ckpt_path = std::env::temp_dir().join(format!(
+        "sgr_bench_construct_ckpt_{}_{n}.sgrsnap",
+        std::process::id()
+    ));
+    let (checkpoint_write_secs, checkpoint_load_secs, checkpoint_bytes) =
+        sgr_bench::harness::checkpoint_round_trip(&rebuilt.graph.freeze(), &ckpt_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+
     SizeResult {
         hidden_nodes: g.num_nodes(),
         hidden_edges: g.num_edges(),
@@ -122,6 +140,9 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
         construct_secs,
         stub_matching_secs,
         warm_stub_matching_secs: rebuilt.stub_matching_secs,
+        checkpoint_bytes,
+        checkpoint_write_secs,
+        checkpoint_load_secs,
     }
 }
 
@@ -161,6 +182,13 @@ fn main() {
             "  stub matching {:.3}s ({:.0} added edges/s) · warm {:.3}s ({:.0} added edges/s)",
             r.stub_matching_secs, stub_rate, r.warm_stub_matching_secs, warm_stub_rate,
         );
+        let mb = r.checkpoint_bytes as f64 / (1024.0 * 1024.0);
+        let ckpt_write_mb_s = mb / r.checkpoint_write_secs;
+        let ckpt_load_mb_s = mb / r.checkpoint_load_secs;
+        eprintln!(
+            "  checkpoint {:.2} MiB · write {:.3}s ({:.0} MiB/s) · load {:.3}s ({:.0} MiB/s)",
+            mb, r.checkpoint_write_secs, ckpt_write_mb_s, r.checkpoint_load_secs, ckpt_load_mb_s,
+        );
         entries.push(format!(
             concat!(
                 "    \"{}\": {{\n",
@@ -183,7 +211,12 @@ fn main() {
                 "      \"total_seconds\": {:.6},\n",
                 "      \"construct_edges_per_sec\": {:.1},\n",
                 "      \"stub_matching_edges_per_sec\": {:.1},\n",
-                "      \"warm_stub_matching_edges_per_sec\": {:.1}\n",
+                "      \"warm_stub_matching_edges_per_sec\": {:.1},\n",
+                "      \"checkpoint_bytes\": {},\n",
+                "      \"checkpoint_write_seconds\": {:.6},\n",
+                "      \"checkpoint_load_seconds\": {:.6},\n",
+                "      \"checkpoint_write_mb_per_sec\": {:.1},\n",
+                "      \"checkpoint_load_mb_per_sec\": {:.1}\n",
                 "    }}"
             ),
             n,
@@ -207,6 +240,11 @@ fn main() {
             edges_per_sec,
             stub_rate,
             warm_stub_rate,
+            r.checkpoint_bytes,
+            r.checkpoint_write_secs,
+            r.checkpoint_load_secs,
+            ckpt_write_mb_s,
+            ckpt_load_mb_s,
         ));
     }
 

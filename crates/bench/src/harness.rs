@@ -356,6 +356,31 @@ impl Args {
     }
 }
 
+/// Times one checkpoint round trip of a frozen graph through the on-disk
+/// snapshot container (the same container the restore checkpoints use)
+/// and gates on bitwise fidelity: the loaded snapshot must re-encode to
+/// exactly the bytes that were written.
+///
+/// Returns `(write_secs, load_secs, file_bytes)`.
+pub fn checkpoint_round_trip(csr: &sgr_graph::CsrGraph, path: &std::path::Path) -> (f64, f64, u64) {
+    use sgr_graph::snapshot;
+    let t = std::time::Instant::now();
+    snapshot::write_csr(csr, path).expect("checkpoint write failed");
+    let write_secs = t.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(path)
+        .expect("checkpoint file missing")
+        .len();
+    let t = std::time::Instant::now();
+    let loaded = snapshot::read_csr(path).expect("checkpoint load failed");
+    let load_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        snapshot::encode_csr(&loaded),
+        snapshot::encode_csr(csr),
+        "checkpoint round trip lost information"
+    );
+    (write_secs, load_secs, bytes)
+}
+
 /// Formats a row of f64 cells with a label, TSV.
 pub fn tsv_row(label: &str, cells: &[f64]) -> String {
     let mut row = String::from(label);
@@ -406,5 +431,18 @@ mod tests {
     #[test]
     fn tsv_row_formats() {
         assert_eq!(tsv_row("x", &[1.0, 0.25]), "x\t1.000\t0.250");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_lossless() {
+        let g = sgr_gen::holme_kim(500, 4, 0.5, &mut Xoshiro256pp::seed_from_u64(5)).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "sgr_bench_roundtrip_{}.sgrsnap",
+            std::process::id()
+        ));
+        let (w, l, bytes) = checkpoint_round_trip(&g.freeze(), &path);
+        assert!(w >= 0.0 && l >= 0.0);
+        assert!(bytes > 32, "payload missing beyond the header");
+        let _ = std::fs::remove_file(&path);
     }
 }

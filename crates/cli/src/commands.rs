@@ -1,20 +1,26 @@
 //! Subcommand implementations.
 
+use std::path::{Path, PathBuf};
+
 use crate::args::Opts;
-use sgr_core::{restore as core_restore, RestoreConfig};
+use crate::error::CliError;
+use sgr_core::{
+    restore as core_restore, restore_with_checkpoints, resume_from_checkpoint, CheckpointPolicy,
+    ConstructScratch, RestoreConfig, Restored,
+};
 use sgr_graph::io::{read_edge_list_file, write_edge_list_file};
 use sgr_graph::Graph;
 use sgr_props::{PropsConfig, StructuralProperties, PROPERTY_NAMES};
 use sgr_sample::{bfs, forest_fire, random_walk, snowball, AccessModel, Crawl};
 use sgr_util::Xoshiro256pp;
 
-/// Wraps a fallible command body: prints errors and usage, returns the
-/// process exit code.
+/// Wraps a fallible command body: prints the typed error's diagnostic
+/// (plus usage for usage mistakes) and returns its exit code.
 fn run(
     argv: &[String],
     usage: &str,
     allowed: &[&str],
-    body: impl FnOnce(&Opts) -> Result<(), String>,
+    body: impl FnOnce(&Opts) -> Result<(), CliError>,
 ) -> i32 {
     let opts = match Opts::parse(argv) {
         Ok(o) => o,
@@ -35,14 +41,52 @@ fn run(
         Ok(()) => 0,
         Err(e) => {
             eprintln!("error: {e}");
-            1
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{usage}");
+            }
+            e.exit_code()
         }
     }
 }
 
-fn load(path: &str) -> Result<Graph, String> {
-    let (g, _) = read_edge_list_file(path).map_err(|e| format!("reading {path}: {e}"))?;
+fn load(path: &str) -> Result<Graph, CliError> {
+    let (g, _) = read_edge_list_file(path).map_err(|e| CliError::io(path, e))?;
     Ok(g)
+}
+
+/// `--checkpoint-dir` / `--checkpoint-every` (shared by `restore` and
+/// `resume`): `None` when checkpointing was not requested.
+fn checkpoint_policy(o: &Opts) -> Result<Option<CheckpointPolicy>, CliError> {
+    let Some(dir) = o.opt("checkpoint-dir") else {
+        if o.opt("checkpoint-every").is_some() {
+            return Err(CliError::Usage(
+                "--checkpoint-every requires --checkpoint-dir".into(),
+            ));
+        }
+        return Ok(None);
+    };
+    std::fs::create_dir_all(dir).map_err(|e| CliError::io(dir, e))?;
+    Ok(Some(CheckpointPolicy {
+        dir: PathBuf::from(dir),
+        every: o.get_or("checkpoint-every", 0u64)?,
+        abort_after: None,
+    }))
+}
+
+fn write_restored(r: &Restored, out: &str, verb: &str) -> Result<(), CliError> {
+    write_edge_list_file(&r.graph, out).map_err(|e| CliError::io(out, e))?;
+    eprintln!(
+        "{verb} {out}: n = {}, m = {} (total {:.2}s, rewiring {:.2}s over {} candidates, \
+         {} checkpoints, {:.2}s checkpoint I/O)",
+        r.graph.num_nodes(),
+        r.graph.num_edges(),
+        r.stats.total_secs(),
+        r.stats.rewire_secs,
+        r.stats.candidate_edges,
+        r.stats.checkpoints_written,
+        r.stats.checkpoint_secs
+    );
+    Ok(())
 }
 
 fn props_cfg(opts: &Opts) -> Result<PropsConfig, String> {
@@ -97,10 +141,10 @@ pub fn generate(argv: &[String]) -> i32 {
                     let ds = parse_dataset(o.req("dataset")?)?;
                     ds.spec().scaled(o.get_or("scale", 1.0)?).generate(&mut rng)
                 }
-                other => return Err(format!("unknown model {other}")),
+                other => return Err(format!("unknown model {other}").into()),
             };
             let out = o.req("out")?;
-            write_edge_list_file(&g, out).map_err(|e| e.to_string())?;
+            write_edge_list_file(&g, out).map_err(|e| CliError::io(out, e))?;
             eprintln!("wrote {out}: n = {}, m = {}", g.num_nodes(), g.num_edges());
             Ok(())
         },
@@ -162,7 +206,7 @@ pub fn crawl(argv: &[String]) -> i32 {
             let crawl = do_crawl(&g, o, &mut rng)?;
             let sg = crawl.subgraph();
             let out = o.req("out")?;
-            write_edge_list_file(&sg.graph, out).map_err(|e| e.to_string())?;
+            write_edge_list_file(&sg.graph, out).map_err(|e| CliError::io(out, e))?;
             eprintln!(
                 "wrote {out}: subgraph with {} nodes ({} queried, {} visible), {} edges",
                 sg.num_nodes(),
@@ -179,7 +223,10 @@ pub fn crawl(argv: &[String]) -> i32 {
 pub fn restore(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr restore --graph FILE --out FILE
   [--fraction F=0.1] [--rc 500] [--no-rewire true] [--threads N=1] [--seed N]
-  (--threads 0 = all cores; results are identical at every thread count)";
+  [--checkpoint-dir DIR] [--checkpoint-every ATTEMPTS]
+  (--threads 0 = all cores; results are identical at every thread count.
+   --checkpoint-dir persists resumable state at every stage boundary —
+   plus every ATTEMPTS rewiring attempts — for `sgr resume`)";
     run(
         argv,
         USAGE,
@@ -191,6 +238,8 @@ pub fn restore(argv: &[String]) -> i32 {
             "no-rewire",
             "threads",
             "seed",
+            "checkpoint-dir",
+            "checkpoint-every",
         ],
         |o| {
             let g = load(o.req("graph")?)?;
@@ -201,18 +250,52 @@ pub fn restore(argv: &[String]) -> i32 {
                 rewire: !o.get_or("no-rewire", false)?,
                 threads: o.get_or("threads", 1usize)?,
             };
-            let r = core_restore(&crawl, &cfg, &mut rng).map_err(|e| e.to_string())?;
-            let out = o.req("out")?;
-            write_edge_list_file(&r.graph, out).map_err(|e| e.to_string())?;
-            eprintln!(
-                "wrote {out}: n = {}, m = {} (total {:.2}s, rewiring {:.2}s over {} candidates)",
-                r.graph.num_nodes(),
-                r.graph.num_edges(),
-                r.stats.total_secs(),
-                r.stats.rewire_secs,
-                r.stats.candidate_edges
-            );
-            Ok(())
+            let r = match checkpoint_policy(o)? {
+                None => core_restore(&crawl, &cfg, &mut rng)?,
+                Some(policy) => restore_with_checkpoints(
+                    &crawl,
+                    &cfg,
+                    &mut rng,
+                    &mut ConstructScratch::new(),
+                    &policy,
+                )?,
+            };
+            write_restored(&r, o.req("out")?, "wrote")
+        },
+    )
+}
+
+/// `sgr resume`.
+pub fn resume(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr resume --checkpoint FILE --out FILE
+  [--threads N] [--checkpoint-dir DIR] [--checkpoint-every ATTEMPTS]
+  (continues an interrupted `sgr restore --checkpoint-dir ...` run; the
+   output is bitwise-identical to the uninterrupted run. --threads may
+   override the checkpointed engine choice — results never change.)";
+    run(
+        argv,
+        USAGE,
+        &[
+            "checkpoint",
+            "out",
+            "threads",
+            "checkpoint-dir",
+            "checkpoint-every",
+        ],
+        |o| {
+            let ckpt = o.req("checkpoint")?;
+            let threads = match o.opt("threads") {
+                None => None,
+                Some(_) => Some(o.get_req::<usize>("threads")?),
+            };
+            let policy = checkpoint_policy(o)?;
+            let r = resume_from_checkpoint(
+                Path::new(ckpt),
+                threads,
+                policy.as_ref(),
+                &mut ConstructScratch::new(),
+            )?;
+            write_restored(&r, o.req("out")?, "resumed and wrote")
         },
     )
 }
@@ -312,7 +395,7 @@ pub fn render(argv: &[String]) -> i32 {
     run(argv, USAGE, &["graph", "out"], |o| {
         let g = load(o.req("graph")?)?;
         let out = o.req("out")?;
-        sgr_viz::write_svg(&g, out).map_err(|e| e.to_string())?;
+        sgr_viz::write_svg(&g, out).map_err(|e| CliError::io(out, e))?;
         eprintln!("wrote {out}");
         Ok(())
     })
@@ -408,6 +491,136 @@ mod tests {
         // --help exits 0 without doing work.
         assert_eq!(generate(&argv(&["--help"])), 0);
         assert_eq!(restore(&argv(&["-h"])), 0);
+    }
+
+    #[test]
+    fn restore_with_checkpoints_then_resume_reproduces_the_output() {
+        let g_path = tmp("ckpt_g.edges");
+        assert_eq!(
+            generate(&argv(&[
+                "--model", "hk", "--nodes", "400", "--m", "3", "--pt", "0.5", "--out", &g_path,
+            ])),
+            0
+        );
+        let ck_dir = tmp("ckpt_dir");
+        let _ = std::fs::remove_dir_all(&ck_dir);
+        let out_full = tmp("ckpt_full.edges");
+        assert_eq!(
+            restore(&argv(&[
+                "--graph",
+                &g_path,
+                "--fraction",
+                "0.1",
+                "--rc",
+                "3",
+                "--out",
+                &out_full,
+                "--checkpoint-dir",
+                &ck_dir,
+                "--checkpoint-every",
+                "500",
+            ])),
+            0
+        );
+        // Resume from the post-construction checkpoint: the rewiring is
+        // replayed from the recorded RNG position, so the written edge
+        // list is byte-for-byte the uninterrupted run's.
+        let constructed = std::fs::read_dir(&ck_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.to_string_lossy().contains("constructed"))
+            .expect("no constructed-stage checkpoint written");
+        let out_resumed = tmp("ckpt_resumed.edges");
+        assert_eq!(
+            resume(&argv(&[
+                "--checkpoint",
+                constructed.to_str().unwrap(),
+                "--out",
+                &out_resumed,
+            ])),
+            0
+        );
+        assert_eq!(
+            std::fs::read(&out_full).unwrap(),
+            std::fs::read(&out_resumed).unwrap(),
+            "resumed output differs from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn resume_failures_are_clean_and_typed() {
+        // Missing checkpoint file: diagnostic + exit 1, no panic.
+        assert_eq!(
+            resume(&argv(&[
+                "--checkpoint",
+                "/nonexistent/ckpt",
+                "--out",
+                "/dev/null"
+            ])),
+            1
+        );
+        // Corrupted checkpoint: flip a payload byte in a real checkpoint.
+        let ck_dir = tmp("ckpt_corrupt_dir");
+        let _ = std::fs::remove_dir_all(&ck_dir);
+        let g_path = tmp("ckpt_corrupt_g.edges");
+        generate(&argv(&[
+            "--model", "hk", "--nodes", "300", "--m", "3", "--pt", "0.5", "--out", &g_path,
+        ]));
+        assert_eq!(
+            restore(&argv(&[
+                "--graph",
+                &g_path,
+                "--rc",
+                "2",
+                "--out",
+                &tmp("ckpt_corrupt_out.edges"),
+                "--checkpoint-dir",
+                &ck_dir,
+            ])),
+            0
+        );
+        let ckpt = std::fs::read_dir(&ck_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .next()
+            .unwrap();
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = 32 + (bytes.len() - 32) / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        assert_eq!(
+            resume(&argv(&[
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--out",
+                "/dev/null"
+            ])),
+            1
+        );
+        // Usage mistakes exit 2.
+        assert_eq!(
+            restore(&argv(&[
+                "--graph",
+                &g_path,
+                "--out",
+                "/dev/null",
+                "--checkpoint-every",
+                "100",
+            ])),
+            2
+        );
+        // Missing input file: diagnostic + exit 1.
+        assert_eq!(
+            restore(&argv(&[
+                "--graph",
+                "/nonexistent/file",
+                "--out",
+                "/dev/null"
+            ])),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Typed CLI errors with per-kind exit codes.
+//!
+//! Every subcommand body returns `Result<(), CliError>`; the shared
+//! runner prints the diagnostic to stderr and maps the error kind to the
+//! process exit code — `2` for usage mistakes (bad flags, bad parameter
+//! values, consistent with the argument parser's own exit code), `1` for
+//! everything that failed at runtime (unreadable input, corrupted
+//! checkpoint, pipeline failure). Nothing in the CLI panics on bad input.
+
+use std::fmt;
+
+/// A subcommand failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad options or parameter values — exits `2`, usage is reprinted.
+    Usage(String),
+    /// A file could not be read or written — exits `1`, names the path.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying failure.
+        source: Box<dyn std::error::Error>,
+    },
+    /// The restoration pipeline failed — exits `1`. Checkpoint decode
+    /// failures (corrupted, truncated, wrong version) arrive here as
+    /// [`sgr_core::RestoreError::Snapshot`].
+    Restore(sgr_core::RestoreError),
+}
+
+impl CliError {
+    /// Wraps a filesystem or decode failure with its path.
+    pub fn io(path: &str, source: impl std::error::Error + 'static) -> Self {
+        CliError::Io {
+            path: path.to_string(),
+            source: Box::new(source),
+        }
+    }
+
+    /// The process exit code for this error kind.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } | CliError::Restore(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Restore(e) => write!(f, "restore failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source.as_ref()),
+            CliError::Restore(e) => Some(e),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<sgr_core::RestoreError> for CliError {
+    fn from(e: sgr_core::RestoreError) -> Self {
+        CliError::Restore(e)
+    }
+}

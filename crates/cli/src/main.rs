@@ -5,6 +5,7 @@
 //! sgr generate --model hk --nodes 10000 --m 4 --pt 0.5 --out g.edges
 //! sgr crawl    --graph g.edges --fraction 0.1 --walk rw --out crawl.edges
 //! sgr restore  --graph g.edges --fraction 0.1 --rc 500 --out restored.edges
+//! sgr resume   --checkpoint ckpt/ckpt-0003-constructed.sgrsnap --out restored.edges
 //! sgr props    --graph restored.edges
 //! sgr compare  --original g.edges --generated restored.edges
 //! sgr dissim   --original g.edges --generated restored.edges
@@ -15,6 +16,7 @@
 
 mod args;
 mod commands;
+mod error;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -22,6 +24,7 @@ fn main() {
         Some("generate") => commands::generate(&argv[1..]),
         Some("crawl") => commands::crawl(&argv[1..]),
         Some("restore") => commands::restore(&argv[1..]),
+        Some("resume") => commands::resume(&argv[1..]),
         Some("props") => commands::props(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("dissim") => commands::dissim(&argv[1..]),
@@ -49,6 +52,7 @@ SUBCOMMANDS:
   generate   synthesize a social graph (hk | ba | er | ws | analogue)
   crawl      crawl a hidden graph and write the induced subgraph
   restore    crawl + restore; write the generated graph
+  resume     continue an interrupted restore from a checkpoint file
   props      print the 12 structural properties of a graph
   compare    L1 distances of the 12 properties between two graphs
   dissim     Schieber et al. network dissimilarity of two graphs

@@ -1,0 +1,549 @@
+//! Serialization of the restoration pipeline's intermediate state.
+//!
+//! Each checkpoint is one [`sgr_graph::snapshot`] section of kind
+//! [`KIND_RESTORE_CHECKPOINT`]: the container supplies the magic, version,
+//! checksum, and atomic-replace discipline (see the "Checkpoint format"
+//! spec in that module); this module defines the payload.
+//!
+//! ## Payload layout (within one `FORMAT_VERSION`)
+//!
+//! All integers little-endian, floats as IEEE-754 bit patterns, slices
+//! length-prefixed — the [`PayloadWriter`] conventions. In order:
+//!
+//! 1. **stage tag** (`u32`): 1 = estimated, 2 = targeted, 3 = constructed,
+//!    4 = rewiring;
+//! 2. **RNG state**: the four `u64` words of the sequential
+//!    `Xoshiro256++` stream at the checkpoint instant;
+//! 3. **config**: rewiring coefficient (`f64`), rewire flag, thread count;
+//! 4. **stats so far**: phase wall times, checkpoint overhead, and the
+//!    cumulative rewiring counters;
+//! 5. **subgraph** `G'`: adjacency (degree slice + flat neighbor slice,
+//!    order-preserving), `orig_id`, `queried` flags;
+//! 6. **estimates**: `n̂`, `k̄̂`, `P̂(k)`, `ĉ̄(k)`, and the upper triangle
+//!    of `P̂(k,k')` as sorted `(k, k', value)` triples (the symmetric half
+//!    is re-mirrored on load — targeting reads cells point-wise, so map
+//!    iteration order never matters);
+//! 7. **stage-specific state** (see [`StageData`]). Mid-rewire
+//!    checkpoints carry the evolving graph's adjacency *in list order*,
+//!    the candidate slots, the incremental clustering sums and distance
+//!    accumulator as exact bit patterns, and the degree buckets in their
+//!    *current* order — all five are required for bitwise-identical
+//!    resumption (fresh recomputation would diverge in ULPs, and
+//!    fresh slot-order buckets would desynchronize the partner draws).
+//!
+//! Every slice length is cross-validated on load; any inconsistency is a
+//! typed [`SnapshotError::Corrupt`], never a panic.
+
+use std::path::Path;
+
+use crate::target_dv::TargetDv;
+use crate::target_jdm::TargetJdm;
+use crate::{RestoreConfig, RestoreStats};
+use sgr_dk::rewire::RewireStats;
+use sgr_estimate::Estimates;
+use sgr_graph::snapshot::{
+    read_section, write_section, PayloadReader, PayloadWriter, KIND_RESTORE_CHECKPOINT,
+};
+use sgr_graph::{Graph, NodeId, SnapshotError};
+use sgr_sample::Subgraph;
+use sgr_util::FxHashMap;
+
+/// Stage tags (payload field 1).
+const STAGE_ESTIMATED: u32 = 1;
+const STAGE_TARGETED: u32 = 2;
+const STAGE_CONSTRUCTED: u32 = 3;
+const STAGE_REWIRING: u32 = 4;
+
+/// Borrowed view of the stage-specific state, for writing without
+/// cloning the (possibly large) arenas out of a live engine.
+pub(crate) enum StageRef<'a> {
+    /// After Phase 0 (estimation + subgraph induction).
+    Estimated,
+    /// After Phases 1–2 (target degree vector + joint degree matrix).
+    Targeted {
+        dv: &'a TargetDv,
+        jdm: &'a TargetJdm,
+    },
+    /// After Phase 3 (construction); `k_max` is the target `k*_max`
+    /// needed to rebuild the clustering target vector.
+    Constructed {
+        k_max: usize,
+        graph: &'a Graph,
+        added_edges: &'a [(NodeId, NodeId)],
+    },
+    /// Mid-Phase-4: the rewiring engine's complete resumable state.
+    Rewiring {
+        k_max: usize,
+        graph: &'a Graph,
+        slots: &'a [(NodeId, NodeId)],
+        clustering_sums: &'a [f64],
+        dist_raw: f64,
+        buckets: Vec<Vec<(u32, u8)>>,
+        total_attempts: u64,
+    },
+}
+
+impl StageRef<'_> {
+    /// Stable name used in checkpoint file names and diagnostics.
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            StageRef::Estimated => "estimated",
+            StageRef::Targeted { .. } => "targeted",
+            StageRef::Constructed { .. } => "constructed",
+            StageRef::Rewiring { .. } => "rewiring",
+        }
+    }
+
+    fn tag(&self) -> u32 {
+        match self {
+            StageRef::Estimated => STAGE_ESTIMATED,
+            StageRef::Targeted { .. } => STAGE_TARGETED,
+            StageRef::Constructed { .. } => STAGE_CONSTRUCTED,
+            StageRef::Rewiring { .. } => STAGE_REWIRING,
+        }
+    }
+}
+
+/// Owned stage-specific state, as loaded from disk.
+pub(crate) enum StageData {
+    Estimated,
+    Targeted {
+        dv: TargetDv,
+        jdm: TargetJdm,
+    },
+    Constructed {
+        k_max: usize,
+        graph: Graph,
+        added_edges: Vec<(NodeId, NodeId)>,
+    },
+    Rewiring {
+        k_max: usize,
+        graph: Graph,
+        slots: Vec<(NodeId, NodeId)>,
+        clustering_sums: Vec<f64>,
+        dist_raw: f64,
+        buckets: Vec<Vec<(u32, u8)>>,
+        total_attempts: u64,
+    },
+}
+
+/// A fully decoded checkpoint: everything the pipeline driver needs to
+/// continue as if the original process had never died.
+pub(crate) struct Checkpoint {
+    pub cfg: RestoreConfig,
+    pub rng_state: [u64; 4],
+    pub stats: RestoreStats,
+    pub subgraph: Subgraph,
+    pub estimates: Estimates,
+    pub stage: StageData,
+}
+
+fn put_graph(w: &mut PayloadWriter, g: &Graph) {
+    let n = g.num_nodes();
+    let mut degrees: Vec<u32> = Vec::with_capacity(n);
+    let mut flat: Vec<u32> = Vec::with_capacity(2 * g.num_edges());
+    for u in 0..n {
+        let nbrs = g.neighbors(u as NodeId);
+        degrees.push(nbrs.len() as u32);
+        flat.extend_from_slice(nbrs);
+    }
+    w.put_u32_slice(&degrees);
+    w.put_u32_slice(&flat);
+}
+
+fn get_graph(r: &mut PayloadReader) -> Result<Graph, SnapshotError> {
+    let degrees = r.get_u32_slice()?;
+    let flat = r.get_u32_slice()?;
+    let total: u64 = degrees.iter().map(|&d| d as u64).sum();
+    if total != flat.len() as u64 {
+        return Err(SnapshotError::Corrupt(format!(
+            "adjacency degree sum {total} != neighbor arena length {}",
+            flat.len()
+        )));
+    }
+    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(degrees.len());
+    let mut off = 0usize;
+    for &d in &degrees {
+        let d = d as usize;
+        adj.push(flat[off..off + d].to_vec());
+        off += d;
+    }
+    Graph::from_adjacency(adj).map_err(SnapshotError::Corrupt)
+}
+
+fn put_pairs(w: &mut PayloadWriter, pairs: &[(NodeId, NodeId)]) {
+    let mut flat: Vec<u32> = Vec::with_capacity(2 * pairs.len());
+    for &(u, v) in pairs {
+        flat.push(u);
+        flat.push(v);
+    }
+    w.put_u32_slice(&flat);
+}
+
+fn get_pairs(r: &mut PayloadReader) -> Result<Vec<(NodeId, NodeId)>, SnapshotError> {
+    let flat = r.get_u32_slice()?;
+    if flat.len() % 2 != 0 {
+        return Err(SnapshotError::Corrupt(format!(
+            "pair arena has odd length {}",
+            flat.len()
+        )));
+    }
+    Ok(flat.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
+fn put_subgraph(w: &mut PayloadWriter, sg: &Subgraph) {
+    put_graph(w, &sg.graph);
+    w.put_u32_slice(&sg.orig_id);
+    let flags: Vec<u32> = sg.queried.iter().map(|&q| q as u32).collect();
+    w.put_u32_slice(&flags);
+}
+
+fn get_subgraph(r: &mut PayloadReader) -> Result<Subgraph, SnapshotError> {
+    let graph = get_graph(r)?;
+    let orig_id = r.get_u32_slice()?;
+    let flags = r.get_u32_slice()?;
+    if orig_id.len() != graph.num_nodes() || flags.len() != graph.num_nodes() {
+        return Err(SnapshotError::Corrupt(format!(
+            "subgraph side arrays ({} ids, {} flags) disagree with {} nodes",
+            orig_id.len(),
+            flags.len(),
+            graph.num_nodes()
+        )));
+    }
+    let mut queried = Vec::with_capacity(flags.len());
+    for f in flags {
+        match f {
+            0 => queried.push(false),
+            1 => queried.push(true),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "queried flag must be 0 or 1, found {other}"
+                )))
+            }
+        }
+    }
+    Ok(Subgraph {
+        graph,
+        orig_id,
+        queried,
+    })
+}
+
+fn put_estimates(w: &mut PayloadWriter, est: &Estimates) {
+    w.put_f64(est.n_hat);
+    w.put_f64(est.avg_degree_hat);
+    w.put_f64_slice(&est.degree_dist);
+    w.put_f64_slice(&est.clustering);
+    // Upper triangle only, sorted: the on-disk form is canonical even
+    // though the in-memory map is hash-ordered.
+    let mut cells: Vec<(u32, u32, f64)> = est
+        .jdd
+        .iter()
+        .filter(|&(&(k, k2), _)| k <= k2)
+        .map(|(&(k, k2), &v)| (k, k2, v))
+        .collect();
+    cells.sort_unstable_by_key(|&(k, k2, _)| (k, k2));
+    let ks: Vec<u32> = cells.iter().map(|c| c.0).collect();
+    let k2s: Vec<u32> = cells.iter().map(|c| c.1).collect();
+    let vals: Vec<f64> = cells.iter().map(|c| c.2).collect();
+    w.put_u32_slice(&ks);
+    w.put_u32_slice(&k2s);
+    w.put_f64_slice(&vals);
+}
+
+fn get_estimates(r: &mut PayloadReader) -> Result<Estimates, SnapshotError> {
+    let n_hat = r.get_f64()?;
+    let avg_degree_hat = r.get_f64()?;
+    let degree_dist = r.get_f64_slice()?;
+    let clustering = r.get_f64_slice()?;
+    let ks = r.get_u32_slice()?;
+    let k2s = r.get_u32_slice()?;
+    let vals = r.get_f64_slice()?;
+    if ks.len() != k2s.len() || ks.len() != vals.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "JDD triple arrays disagree: {} / {} / {}",
+            ks.len(),
+            k2s.len(),
+            vals.len()
+        )));
+    }
+    let mut jdd: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    for i in 0..ks.len() {
+        let (k, k2, v) = (ks[i], k2s[i], vals[i]);
+        if k > k2 {
+            return Err(SnapshotError::Corrupt(format!(
+                "JDD triple ({k},{k2}) not in upper-triangle order"
+            )));
+        }
+        jdd.insert((k, k2), v);
+        jdd.insert((k2, k), v);
+    }
+    Ok(Estimates {
+        n_hat,
+        avg_degree_hat,
+        degree_dist,
+        jdd,
+        clustering,
+    })
+}
+
+fn put_stats(w: &mut PayloadWriter, st: &RestoreStats) {
+    w.put_f64(st.estimate_secs);
+    w.put_f64(st.target_secs);
+    w.put_f64(st.construct_secs);
+    w.put_f64(st.stub_matching_secs);
+    w.put_f64(st.rewire_secs);
+    w.put_f64(st.checkpoint_secs);
+    w.put_u64(st.checkpoints_written);
+    w.put_u64(st.rewire_stats.attempts);
+    w.put_u64(st.rewire_stats.accepted);
+    w.put_u64(st.rewire_stats.skipped);
+    w.put_f64(st.rewire_stats.initial_distance);
+    w.put_f64(st.rewire_stats.final_distance);
+    w.put_u64(st.candidate_edges as u64);
+}
+
+fn get_stats(r: &mut PayloadReader) -> Result<RestoreStats, SnapshotError> {
+    Ok(RestoreStats {
+        estimate_secs: r.get_f64()?,
+        target_secs: r.get_f64()?,
+        construct_secs: r.get_f64()?,
+        stub_matching_secs: r.get_f64()?,
+        rewire_secs: r.get_f64()?,
+        checkpoint_secs: r.get_f64()?,
+        checkpoints_written: r.get_u64()?,
+        rewire_stats: RewireStats {
+            attempts: r.get_u64()?,
+            accepted: r.get_u64()?,
+            skipped: r.get_u64()?,
+            initial_distance: r.get_f64()?,
+            final_distance: r.get_f64()?,
+        },
+        candidate_edges: r.get_u64()? as usize,
+        nodes: 0,
+        edges: 0,
+    })
+}
+
+/// Serializes one checkpoint atomically (write-temp + rename; see the
+/// container spec in [`sgr_graph::snapshot`]).
+pub(crate) fn write_checkpoint(
+    path: &Path,
+    cfg: &RestoreConfig,
+    rng_state: [u64; 4],
+    stats: &RestoreStats,
+    subgraph: &Subgraph,
+    estimates: &Estimates,
+    stage: &StageRef<'_>,
+) -> Result<(), SnapshotError> {
+    let mut w = PayloadWriter::new();
+    w.put_u32(stage.tag());
+    for word in rng_state {
+        w.put_u64(word);
+    }
+    w.put_f64(cfg.rewiring_coefficient);
+    w.put_bool(cfg.rewire);
+    w.put_u64(cfg.threads as u64);
+    put_stats(&mut w, stats);
+    put_subgraph(&mut w, subgraph);
+    put_estimates(&mut w, estimates);
+    match stage {
+        StageRef::Estimated => {}
+        StageRef::Targeted { dv, jdm } => {
+            w.put_u64(dv.k_max as u64);
+            w.put_u64_slice(&dv.n_star);
+            w.put_u64_slice(&dv.n_prime);
+            w.put_u32_slice(&dv.d_star);
+            w.put_f64_slice(&dv.n_hat_k);
+            let (jk_max, m_star, m_hat, m_prime) = jdm.raw_parts();
+            w.put_u64(jk_max as u64);
+            w.put_u64_slice(m_star);
+            w.put_f64_slice(m_hat);
+            w.put_u64_slice(m_prime);
+        }
+        StageRef::Constructed {
+            k_max,
+            graph,
+            added_edges,
+        } => {
+            w.put_u64(*k_max as u64);
+            put_graph(&mut w, graph);
+            put_pairs(&mut w, added_edges);
+        }
+        StageRef::Rewiring {
+            k_max,
+            graph,
+            slots,
+            clustering_sums,
+            dist_raw,
+            buckets,
+            total_attempts,
+        } => {
+            w.put_u64(*k_max as u64);
+            put_graph(&mut w, graph);
+            put_pairs(&mut w, slots);
+            w.put_f64_slice(clustering_sums);
+            w.put_f64(*dist_raw);
+            w.put_u64(buckets.len() as u64);
+            for bucket in buckets {
+                let packed: Vec<u64> = bucket
+                    .iter()
+                    .map(|&(slot, side)| ((slot as u64) << 32) | side as u64)
+                    .collect();
+                w.put_u64_slice(&packed);
+            }
+            w.put_u64(*total_attempts);
+        }
+    }
+    write_section(path, KIND_RESTORE_CHECKPOINT, &w.into_bytes())
+}
+
+/// Loads and fully validates a checkpoint.
+pub(crate) fn read_checkpoint(path: &Path) -> Result<Checkpoint, SnapshotError> {
+    let payload = read_section(path, KIND_RESTORE_CHECKPOINT)?;
+    let mut r = PayloadReader::new(&payload);
+    let tag = r.get_u32()?;
+    if !(STAGE_ESTIMATED..=STAGE_REWIRING).contains(&tag) {
+        return Err(SnapshotError::Corrupt(format!(
+            "unknown pipeline stage tag {tag}"
+        )));
+    }
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.get_u64()?;
+    }
+    let cfg = RestoreConfig {
+        rewiring_coefficient: r.get_f64()?,
+        rewire: r.get_bool()?,
+        threads: r.get_u64()? as usize,
+    };
+    let stats = get_stats(&mut r)?;
+    let subgraph = get_subgraph(&mut r)?;
+    let estimates = get_estimates(&mut r)?;
+    let stage = match tag {
+        STAGE_ESTIMATED => StageData::Estimated,
+        STAGE_TARGETED => {
+            let k_max = r.get_u64()? as usize;
+            let n_star = r.get_u64_slice()?;
+            let n_prime = r.get_u64_slice()?;
+            let d_star = r.get_u32_slice()?;
+            let n_hat_k = r.get_f64_slice()?;
+            if n_star.len() != k_max + 1 || n_prime.len() != k_max + 1 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "DV arrays ({} / {}) disagree with k_max {k_max}",
+                    n_star.len(),
+                    n_prime.len()
+                )));
+            }
+            let dv = TargetDv {
+                n_star,
+                n_prime,
+                d_star,
+                k_max,
+                n_hat_k,
+            };
+            let jk_max = r.get_u64()? as usize;
+            let m_star = r.get_u64_slice()?;
+            let m_hat = r.get_f64_slice()?;
+            let m_prime = r.get_u64_slice()?;
+            let jdm = TargetJdm::from_raw_parts(jk_max, m_star, m_hat, m_prime)
+                .map_err(SnapshotError::Corrupt)?;
+            StageData::Targeted { dv, jdm }
+        }
+        STAGE_CONSTRUCTED => {
+            let k_max = r.get_u64()? as usize;
+            let graph = get_graph(&mut r)?;
+            let added_edges = get_pairs(&mut r)?;
+            StageData::Constructed {
+                k_max,
+                graph,
+                added_edges,
+            }
+        }
+        STAGE_REWIRING => {
+            let k_max = r.get_u64()? as usize;
+            let graph = get_graph(&mut r)?;
+            let slots = get_pairs(&mut r)?;
+            let clustering_sums = r.get_f64_slice()?;
+            let dist_raw = r.get_f64()?;
+            let n_buckets = r.get_u64()? as usize;
+            let mut buckets: Vec<Vec<(u32, u8)>> = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let packed = r.get_u64_slice()?;
+                let mut bucket = Vec::with_capacity(packed.len());
+                for p in packed {
+                    let side = p & 0xffff_ffff;
+                    if side > 1 {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "bucket entry side must be 0 or 1, found {side}"
+                        )));
+                    }
+                    bucket.push(((p >> 32) as u32, side as u8));
+                }
+                buckets.push(bucket);
+            }
+            let total_attempts = r.get_u64()?;
+            if stats.rewire_stats.attempts > total_attempts {
+                return Err(SnapshotError::Corrupt(format!(
+                    "completed attempts {} exceed total {total_attempts}",
+                    stats.rewire_stats.attempts
+                )));
+            }
+            StageData::Rewiring {
+                k_max,
+                graph,
+                slots,
+                clustering_sums,
+                dist_raw,
+                buckets,
+                total_attempts,
+            }
+        }
+        other => {
+            return Err(SnapshotError::Corrupt(format!(
+                "unknown pipeline stage tag {other}"
+            )))
+        }
+    };
+    r.finish()?;
+    Ok(Checkpoint {
+        cfg,
+        rng_state,
+        stats,
+        subgraph,
+        estimates,
+        stage,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgr_graph::snapshot::write_section;
+
+    /// A payload that passes the container's checksum but decodes to
+    /// garbage must surface as `Corrupt`, never panic.
+    #[test]
+    fn well_formed_container_with_garbage_payload_is_corrupt() {
+        let dir = std::env::temp_dir().join(format!("sgr-ckpt-garbage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.sgrsnap");
+        // Stage tag 9 does not exist.
+        let mut w = PayloadWriter::new();
+        w.put_u32(9);
+        write_section(&path, KIND_RESTORE_CHECKPOINT, &w.into_bytes()).unwrap();
+        match read_checkpoint(&path) {
+            Err(SnapshotError::Corrupt(msg)) => assert!(msg.contains("stage tag")),
+            Err(other) => panic!("expected Corrupt, got {other:?}"),
+            Ok(_) => panic!("expected Corrupt, got a decoded checkpoint"),
+        }
+        // Truncated payload (valid container, not enough bytes for the
+        // fixed header fields).
+        let mut w = PayloadWriter::new();
+        w.put_u32(STAGE_ESTIMATED);
+        w.put_u64(1);
+        write_section(&path, KIND_RESTORE_CHECKPOINT, &w.into_bytes()).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

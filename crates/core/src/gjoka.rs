@@ -118,6 +118,9 @@ pub fn generate_with(
         nodes: graph.num_nodes(),
         edges: graph.num_edges(),
         candidate_edges,
+        // The baseline stays a monolith (no staging, no checkpoints);
+        // its t0 span covers estimation + targeting under target_secs.
+        ..RestoreStats::default()
     };
     let snapshot = graph.freeze();
     Ok(GjokaOutput {

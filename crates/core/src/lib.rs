@@ -31,12 +31,25 @@ pub mod gjoka;
 pub mod target_dv;
 pub mod target_jdm;
 
+mod checkpoint;
+
+/// Re-exported so downstream callers of [`restore_with`] /
+/// [`resume_from_checkpoint`] can own a scratch without depending on
+/// `sgr_dk` directly.
+pub use sgr_dk::ConstructScratch;
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use checkpoint::{StageData, StageRef};
 use sgr_dk::rewire::parallel::ParallelRewireEngine;
 use sgr_dk::rewire::{RewireEngine, RewireStats};
 use sgr_estimate::{estimate_all, EstimateError, Estimates};
-use sgr_graph::{CsrGraph, Graph, NodeId};
+use sgr_graph::{CsrGraph, Graph, NodeId, SnapshotError};
 use sgr_sample::{Crawl, Subgraph};
 use sgr_util::Xoshiro256pp;
+use target_dv::TargetDv;
+use target_jdm::TargetJdm;
 
 /// Configuration of the restoration pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -100,6 +113,17 @@ pub enum RestoreError {
     Construct(sgr_dk::DkError),
     /// The crawl contains no queried nodes.
     EmptyCrawl,
+    /// A checkpoint could not be written, or a checkpoint being resumed
+    /// was missing, corrupted, truncated, or version-mismatched (see
+    /// [`sgr_graph::snapshot`] for the per-failure variants).
+    Snapshot(SnapshotError),
+    /// The fault injector stopped the pipeline right after persisting
+    /// the named checkpoint (test harness: a simulated crash — all
+    /// in-memory state is dropped; only the file survives).
+    Interrupted {
+        /// The last checkpoint written before the simulated crash.
+        checkpoint: PathBuf,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -109,11 +133,23 @@ impl std::fmt::Display for RestoreError {
             RestoreError::Target(e) => write!(f, "target construction failed: {e}"),
             RestoreError::Construct(e) => write!(f, "construction failed: {e}"),
             RestoreError::EmptyCrawl => write!(f, "crawl contains no queried node"),
+            RestoreError::Snapshot(e) => write!(f, "checkpoint error: {e}"),
+            RestoreError::Interrupted { checkpoint } => write!(
+                f,
+                "pipeline interrupted by fault injection after writing {}",
+                checkpoint.display()
+            ),
         }
     }
 }
 
 impl std::error::Error for RestoreError {}
+
+impl From<SnapshotError> for RestoreError {
+    fn from(e: SnapshotError) -> Self {
+        RestoreError::Snapshot(e)
+    }
+}
 
 impl From<EstimateError> for RestoreError {
     fn from(e: EstimateError) -> Self {
@@ -136,7 +172,12 @@ impl From<sgr_dk::DkError> for RestoreError {
 /// Timings and counters from one restoration run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RestoreStats {
-    /// Wall time of the estimation + target-construction phases.
+    /// Wall time of the estimation stage (estimators + subgraph
+    /// induction). Zero for runs resumed past that stage in a prior
+    /// process — resumed runs restore the timings recorded in the
+    /// checkpoint, so the sum still covers the whole pipeline.
+    pub estimate_secs: f64,
+    /// Wall time of the target-construction stage (Algorithms 1–4).
     pub target_secs: f64,
     /// Wall time of Phase 3 (adding nodes and edges).
     pub construct_secs: f64,
@@ -154,12 +195,20 @@ pub struct RestoreStats {
     pub edges: usize,
     /// Number of rewirable (added) edges `|Ẽ_rew|`.
     pub candidate_edges: usize,
+    /// Wall time spent serializing checkpoints (crash-safety overhead;
+    /// excluded from [`RestoreStats::total_secs`] so checkpointed and
+    /// plain runs report comparable generation times).
+    pub checkpoint_secs: f64,
+    /// Number of checkpoints persisted, including any restored run's
+    /// earlier ones.
+    pub checkpoints_written: u64,
 }
 
 impl RestoreStats {
-    /// Total generation time (the paper's Table IV "Total").
+    /// Total generation time (the paper's Table IV "Total"); checkpoint
+    /// I/O is tracked separately in `checkpoint_secs`.
     pub fn total_secs(&self) -> f64 {
-        self.target_secs + self.construct_secs + self.rewire_secs
+        self.estimate_secs + self.target_secs + self.construct_secs + self.rewire_secs
     }
 }
 
@@ -179,6 +228,384 @@ pub struct Restored {
     pub estimates: Estimates,
     /// Phase timings and counters.
     pub stats: RestoreStats,
+}
+
+/// When and where the staged pipeline persists checkpoints.
+///
+/// With a policy in place the pipeline writes one checkpoint after each
+/// completed stage (estimate, target, construct) and — when `every > 0` —
+/// one every `every` committed rewiring attempts. Files are named
+/// `ckpt-<seq>-<stage>.sgrsnap` inside `dir` and written atomically
+/// (temp + rename), so a crash mid-write never destroys the previous
+/// checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Directory receiving the checkpoint files (must exist).
+    pub dir: PathBuf,
+    /// Mid-rewire checkpoint cadence in committed swap attempts;
+    /// `0` checkpoints at stage boundaries only.
+    pub every: u64,
+    /// Fault-injection hook: simulate a crash by aborting with
+    /// [`RestoreError::Interrupted`] immediately after the `n`-th
+    /// checkpoint (1-based) has been persisted. All in-memory pipeline
+    /// state is dropped; resumption must work from the file alone.
+    pub abort_after: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoints at stage boundaries only, no fault injection.
+    pub fn at_boundaries(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every: 0,
+            abort_after: None,
+        }
+    }
+}
+
+/// The pipeline driver: configuration, checkpoint policy, and the stats
+/// accumulated across stages (and, on resume, across processes).
+struct Driver<'a> {
+    cfg: RestoreConfig,
+    policy: Option<&'a CheckpointPolicy>,
+    stats: RestoreStats,
+}
+
+impl Driver<'_> {
+    /// Persists a checkpoint if a policy is active; returns the
+    /// fault-injected `Interrupted` error when this write is the
+    /// configured crash point.
+    fn checkpoint(
+        &mut self,
+        rng: &Xoshiro256pp,
+        subgraph: &Subgraph,
+        estimates: &Estimates,
+        stage: StageRef<'_>,
+    ) -> Result<(), RestoreError> {
+        let Some(policy) = self.policy else {
+            return Ok(());
+        };
+        let t = Instant::now();
+        // The count includes the checkpoint being written, so a resumed
+        // run continues the file numbering instead of overwriting.
+        self.stats.checkpoints_written += 1;
+        let path = policy.dir.join(format!(
+            "ckpt-{:04}-{}.sgrsnap",
+            self.stats.checkpoints_written,
+            stage.name()
+        ));
+        checkpoint::write_checkpoint(
+            &path,
+            &self.cfg,
+            rng.state(),
+            &self.stats,
+            subgraph,
+            estimates,
+            &stage,
+        )?;
+        self.stats.checkpoint_secs += t.elapsed().as_secs_f64();
+        if policy.abort_after == Some(self.stats.checkpoints_written) {
+            return Err(RestoreError::Interrupted { checkpoint: path });
+        }
+        Ok(())
+    }
+}
+
+/// `{ĉ̄(k)}` resized to the target degree range — the rewiring phase's
+/// objective vector. Derived (not checkpointed): it is a pure function
+/// of the estimates and `k*_max`.
+fn clustering_target(estimates: &Estimates, k_max: usize) -> Vec<f64> {
+    let mut target_c = estimates.clustering.clone();
+    target_c.resize(k_max + 1, 0.0);
+    target_c
+}
+
+/// Stage 1 → 2: target degree vector + joint degree matrix
+/// (Algorithms 1–4).
+fn stage_target(
+    driver: &mut Driver<'_>,
+    subgraph: &Subgraph,
+    estimates: &Estimates,
+    rng: &mut Xoshiro256pp,
+) -> Result<(TargetDv, TargetJdm), RestoreError> {
+    let t = Instant::now();
+    let mut dv = target_dv::build(subgraph, estimates, rng);
+    let jdm = target_jdm::build(subgraph, estimates, &mut dv)?;
+    driver.stats.target_secs += t.elapsed().as_secs_f64();
+    driver.checkpoint(
+        rng,
+        subgraph,
+        estimates,
+        StageRef::Targeted { dv: &dv, jdm: &jdm },
+    )?;
+    Ok((dv, jdm))
+}
+
+/// What [`stage_construct`] hands to the rewiring stage: the target
+/// `k_max`, the constructed graph, and the added-edge candidate set.
+type ConstructedStage = (usize, Graph, Vec<(NodeId, NodeId)>);
+
+/// Stage 2 → 3: node addition + stub matching (Algorithm 5).
+fn stage_construct(
+    driver: &mut Driver<'_>,
+    subgraph: &Subgraph,
+    estimates: &Estimates,
+    dv: &TargetDv,
+    jdm: &TargetJdm,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+) -> Result<ConstructedStage, RestoreError> {
+    let t = Instant::now();
+    let built = construct::extend_subgraph_with(subgraph, dv, jdm, rng, scratch)?;
+    driver.stats.construct_secs += t.elapsed().as_secs_f64();
+    driver.stats.stub_matching_secs += built.stub_matching_secs;
+    driver.checkpoint(
+        rng,
+        subgraph,
+        estimates,
+        StageRef::Constructed {
+            k_max: dv.k_max,
+            graph: &built.graph,
+            added_edges: &built.added_edges,
+        },
+    )?;
+    Ok((dv.k_max, built.graph, built.added_edges))
+}
+
+/// Either rewiring engine behind one face: the engines are seed-for-seed
+/// bitwise equivalent and expose identical checkpoint state, so the
+/// driver (and the checkpoint format) never cares which one is running.
+enum Engine {
+    Sequential(Box<RewireEngine>),
+    Parallel(Box<ParallelRewireEngine>),
+}
+
+impl Engine {
+    fn new(
+        graph: Graph,
+        candidates: Vec<(NodeId, NodeId)>,
+        target_c: &[f64],
+        threads: usize,
+    ) -> Self {
+        if threads == 1 {
+            Engine::Sequential(Box::new(RewireEngine::new(graph, candidates, target_c)))
+        } else {
+            Engine::Parallel(Box::new(ParallelRewireEngine::new(
+                graph, candidates, target_c, threads,
+            )))
+        }
+    }
+
+    fn run_attempts(&mut self, attempts: u64, rng: &mut Xoshiro256pp) -> RewireStats {
+        match self {
+            Engine::Sequential(e) => e.run_attempts(attempts, rng),
+            Engine::Parallel(e) => e.run_attempts(attempts, rng),
+        }
+    }
+
+    fn into_graph(self) -> Graph {
+        match self {
+            Engine::Sequential(e) => e.into_graph(),
+            Engine::Parallel(e) => e.into_graph(),
+        }
+    }
+
+    fn graph(&self) -> &Graph {
+        match self {
+            Engine::Sequential(e) => e.graph(),
+            Engine::Parallel(e) => e.graph(),
+        }
+    }
+
+    fn slots(&self) -> &[(NodeId, NodeId)] {
+        match self {
+            Engine::Sequential(e) => e.slots(),
+            Engine::Parallel(e) => e.slots(),
+        }
+    }
+
+    fn clustering_sums(&self) -> &[f64] {
+        match self {
+            Engine::Sequential(e) => e.clustering_sums(),
+            Engine::Parallel(e) => e.clustering_sums(),
+        }
+    }
+
+    fn dist_raw(&self) -> f64 {
+        match self {
+            Engine::Sequential(e) => e.dist_raw(),
+            Engine::Parallel(e) => e.dist_raw(),
+        }
+    }
+
+    fn bucket_state(&self) -> Vec<Vec<(u32, u8)>> {
+        match self {
+            Engine::Sequential(e) => e.bucket_state(),
+            Engine::Parallel(e) => e.bucket_state(),
+        }
+    }
+
+    fn restore_float_state(&mut self, s: &[f64], dist_raw: f64) -> Result<(), String> {
+        match self {
+            Engine::Sequential(e) => e.restore_float_state(s, dist_raw),
+            Engine::Parallel(e) => e.restore_float_state(s, dist_raw),
+        }
+    }
+
+    fn restore_bucket_state(&mut self, buckets: Vec<Vec<(u32, u8)>>) -> Result<(), String> {
+        match self {
+            Engine::Sequential(e) => e.restore_bucket_state(buckets),
+            Engine::Parallel(e) => e.restore_bucket_state(buckets),
+        }
+    }
+}
+
+/// The rewiring loop: runs `total` attempts in checkpoint-sized chunks.
+/// Chunking is bitwise-neutral (`run_attempts` in pieces reproduces one
+/// big run exactly — the engines' own equivalence tests pin this), so
+/// checkpointed, resumed, and straight-through runs all land on the same
+/// graph. `driver.stats.rewire_stats.attempts` is the committed-attempt
+/// cursor, carried across processes by the checkpoint.
+fn run_rewire_loop(
+    driver: &mut Driver<'_>,
+    subgraph: &Subgraph,
+    estimates: &Estimates,
+    k_max: usize,
+    mut engine: Engine,
+    total: u64,
+    rng: &mut Xoshiro256pp,
+) -> Result<Graph, RestoreError> {
+    loop {
+        let done = driver.stats.rewire_stats.attempts;
+        let remaining = total - done;
+        let chunk = match driver.policy {
+            Some(p) if p.every > 0 => remaining.min(p.every),
+            _ => remaining,
+        };
+        let t = Instant::now();
+        let s = engine.run_attempts(chunk, rng);
+        driver.stats.rewire_secs += t.elapsed().as_secs_f64();
+        if done == 0 {
+            driver.stats.rewire_stats.initial_distance = s.initial_distance;
+        }
+        driver.stats.rewire_stats.attempts = done + chunk;
+        driver.stats.rewire_stats.accepted += s.accepted;
+        driver.stats.rewire_stats.skipped += s.skipped;
+        driver.stats.rewire_stats.final_distance = s.final_distance;
+        if driver.stats.rewire_stats.attempts >= total {
+            return Ok(engine.into_graph());
+        }
+        driver.checkpoint(
+            rng,
+            subgraph,
+            estimates,
+            StageRef::Rewiring {
+                k_max,
+                graph: engine.graph(),
+                slots: engine.slots(),
+                clustering_sums: engine.clustering_sums(),
+                dist_raw: engine.dist_raw(),
+                buckets: engine.bucket_state(),
+                total_attempts: total,
+            },
+        )?;
+    }
+}
+
+/// Seals the run: final counters, the one-and-only CSR freeze, and the
+/// `Restored` bundle.
+fn finish(
+    mut stats: RestoreStats,
+    subgraph: Subgraph,
+    estimates: Estimates,
+    graph: Graph,
+) -> Restored {
+    stats.nodes = graph.num_nodes();
+    stats.edges = graph.num_edges();
+    // Freeze once: construction and rewiring are done, so every consumer
+    // from here on is read-only and gets the CSR arena.
+    let snapshot = graph.freeze();
+    Restored {
+        graph,
+        snapshot,
+        subgraph,
+        estimates,
+        stats,
+    }
+}
+
+/// Stages 2..4 (after estimation).
+fn run_after_estimate(
+    driver: &mut Driver<'_>,
+    subgraph: Subgraph,
+    estimates: Estimates,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+) -> Result<Restored, RestoreError> {
+    let (dv, jdm) = stage_target(driver, &subgraph, &estimates, rng)?;
+    run_after_target(driver, subgraph, estimates, dv, jdm, rng, scratch)
+}
+
+/// Stages 3..4 (after targeting).
+fn run_after_target(
+    driver: &mut Driver<'_>,
+    subgraph: Subgraph,
+    estimates: Estimates,
+    dv: TargetDv,
+    jdm: TargetJdm,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+) -> Result<Restored, RestoreError> {
+    let (k_max, graph, added) =
+        stage_construct(driver, &subgraph, &estimates, &dv, &jdm, rng, scratch)?;
+    run_after_construct(driver, subgraph, estimates, k_max, graph, added, rng)
+}
+
+/// Stage 4 (rewiring over the added edges only, Algorithm 6) and
+/// completion.
+fn run_after_construct(
+    driver: &mut Driver<'_>,
+    subgraph: Subgraph,
+    estimates: Estimates,
+    k_max: usize,
+    graph: Graph,
+    added_edges: Vec<(NodeId, NodeId)>,
+    rng: &mut Xoshiro256pp,
+) -> Result<Restored, RestoreError> {
+    let candidate_edges = added_edges.len();
+    driver.stats.candidate_edges = candidate_edges;
+    if !driver.cfg.rewire || candidate_edges == 0 {
+        return Ok(finish(driver.stats, subgraph, estimates, graph));
+    }
+    let total = (driver.cfg.rewiring_coefficient * candidate_edges as f64).ceil() as u64;
+    let target_c = clustering_target(&estimates, k_max);
+    let engine = Engine::new(graph, added_edges, &target_c, driver.cfg.threads);
+    let graph = run_rewire_loop(driver, &subgraph, &estimates, k_max, engine, total, rng)?;
+    Ok(finish(driver.stats, subgraph, estimates, graph))
+}
+
+fn restore_impl(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<Restored, RestoreError> {
+    if crawl.num_queried() == 0 {
+        return Err(RestoreError::EmptyCrawl);
+    }
+    let mut driver = Driver {
+        cfg: *cfg,
+        policy,
+        stats: RestoreStats::default(),
+    };
+    // Stage 1: estimation + subgraph induction (consumes no RNG).
+    let t = Instant::now();
+    let estimates = estimate_all(crawl)?;
+    let subgraph = crawl.subgraph();
+    driver.stats.estimate_secs += t.elapsed().as_secs_f64();
+    driver.checkpoint(rng, &subgraph, &estimates, StageRef::Estimated)?;
+    run_after_estimate(&mut driver, subgraph, estimates, rng, scratch)
 }
 
 /// Runs the full proposed method (§IV) on a random-walk crawl.
@@ -202,64 +629,98 @@ pub fn restore_with(
     rng: &mut Xoshiro256pp,
     scratch: &mut sgr_dk::ConstructScratch,
 ) -> Result<Restored, RestoreError> {
-    if crawl.num_queried() == 0 {
-        return Err(RestoreError::EmptyCrawl);
+    restore_impl(crawl, cfg, rng, scratch, None)
+}
+
+/// [`restore_with`] under a [`CheckpointPolicy`]: identical results (the
+/// staged driver and checkpoint chunking are bitwise-neutral), plus
+/// durable intermediate state for [`resume_from_checkpoint`].
+pub fn restore_with_checkpoints(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+    policy: &CheckpointPolicy,
+) -> Result<Restored, RestoreError> {
+    restore_impl(crawl, cfg, rng, scratch, Some(policy))
+}
+
+/// Continues an interrupted restoration from a checkpoint file, producing
+/// a result bitwise-identical to the run that was interrupted (same final
+/// edge multiset, same RNG stream, same stats counters).
+///
+/// `threads` optionally overrides the checkpointed engine choice — safe
+/// because the engines are seed-for-seed equivalent. A `policy` makes the
+/// resumed run itself checkpointable (file numbering continues where the
+/// interrupted run stopped).
+pub fn resume_from_checkpoint(
+    path: &Path,
+    threads: Option<usize>,
+    policy: Option<&CheckpointPolicy>,
+    scratch: &mut sgr_dk::ConstructScratch,
+) -> Result<Restored, RestoreError> {
+    let ckpt = checkpoint::read_checkpoint(path)?;
+    let mut cfg = ckpt.cfg;
+    if let Some(t) = threads {
+        cfg.threads = t;
     }
-    let t0 = std::time::Instant::now();
-    let estimates = estimate_all(crawl)?;
-    let subgraph = crawl.subgraph();
-
-    // Phase 1: target degree vector (Algorithms 1 + 2).
-    let mut dv = target_dv::build(&subgraph, &estimates, rng);
-    // Phase 2: target joint degree matrix (Algorithms 3 + 4 + re-adjust).
-    let jdm = target_jdm::build(&subgraph, &estimates, &mut dv)?;
-    let target_secs = t0.elapsed().as_secs_f64();
-
-    // Phase 3: add nodes and edges (Algorithm 5).
-    let t1 = std::time::Instant::now();
-    let built = construct::extend_subgraph_with(&subgraph, &dv, &jdm, rng, scratch)?;
-    let construct_secs = t1.elapsed().as_secs_f64();
-    let stub_matching_secs = built.stub_matching_secs;
-
-    // Phase 4: rewiring over added edges only (Algorithm 6).
-    let t2 = std::time::Instant::now();
-    let candidate_edges = built.added_edges.len();
-    let (graph, rewire_stats) = if cfg.rewire && candidate_edges > 0 {
-        let mut target_c = estimates.clustering.clone();
-        target_c.resize(dv.k_max + 1, 0.0);
-        run_rewiring(
-            built.graph,
-            built.added_edges,
-            &target_c,
-            cfg.rewiring_coefficient,
-            cfg.threads,
-            rng,
-        )
-    } else {
-        (built.graph, RewireStats::default())
+    let mut rng = Xoshiro256pp::from_state(ckpt.rng_state);
+    let mut driver = Driver {
+        cfg,
+        policy,
+        stats: ckpt.stats,
     };
-    let rewire_secs = t2.elapsed().as_secs_f64();
-
-    let stats = RestoreStats {
-        target_secs,
-        construct_secs,
-        stub_matching_secs,
-        rewire_secs,
-        rewire_stats,
-        nodes: graph.num_nodes(),
-        edges: graph.num_edges(),
-        candidate_edges,
-    };
-    // Freeze once: construction and rewiring are done, so every consumer
-    // from here on is read-only and gets the CSR arena.
-    let snapshot = graph.freeze();
-    Ok(Restored {
-        graph,
-        snapshot,
-        subgraph,
-        estimates,
-        stats,
-    })
+    let subgraph = ckpt.subgraph;
+    let estimates = ckpt.estimates;
+    match ckpt.stage {
+        StageData::Estimated => {
+            run_after_estimate(&mut driver, subgraph, estimates, &mut rng, scratch)
+        }
+        StageData::Targeted { dv, jdm } => {
+            run_after_target(&mut driver, subgraph, estimates, dv, jdm, &mut rng, scratch)
+        }
+        StageData::Constructed {
+            k_max,
+            graph,
+            added_edges,
+        } => run_after_construct(
+            &mut driver,
+            subgraph,
+            estimates,
+            k_max,
+            graph,
+            added_edges,
+            &mut rng,
+        ),
+        StageData::Rewiring {
+            k_max,
+            graph,
+            slots,
+            clustering_sums,
+            dist_raw,
+            buckets,
+            total_attempts,
+        } => {
+            let target_c = clustering_target(&estimates, k_max);
+            let mut engine = Engine::new(graph, slots, &target_c, driver.cfg.threads);
+            engine
+                .restore_float_state(&clustering_sums, dist_raw)
+                .map_err(SnapshotError::Corrupt)?;
+            engine
+                .restore_bucket_state(buckets)
+                .map_err(SnapshotError::Corrupt)?;
+            let graph = run_rewire_loop(
+                &mut driver,
+                &subgraph,
+                &estimates,
+                k_max,
+                engine,
+                total_attempts,
+                &mut rng,
+            )?;
+            Ok(finish(driver.stats, subgraph, estimates, graph))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -302,6 +302,38 @@ impl TargetJdm {
     pub(crate) fn dec(&mut self, k: usize, k2: usize) {
         self.dec_by(k, k2, 1);
     }
+
+    /// Borrows the flat arenas — `(k_max, m*, m̂, m')` — for checkpoint
+    /// serialization (`crate::checkpoint`).
+    pub(crate) fn raw_parts(&self) -> (usize, &[u64], &[f64], &[u64]) {
+        (self.k_max, &self.m_star, &self.m_hat, &self.m_prime)
+    }
+
+    /// Rebuilds a matrix from checkpointed arenas, validating the slab
+    /// lengths against `k_max`.
+    pub(crate) fn from_raw_parts(
+        k_max: usize,
+        m_star: Vec<u64>,
+        m_hat: Vec<f64>,
+        m_prime: Vec<u64>,
+    ) -> Result<Self, String> {
+        let want = tri_len(k_max);
+        if m_star.len() != want || m_hat.len() != want || m_prime.len() != want {
+            return Err(format!(
+                "JDM arena length mismatch: k_max {k_max} wants {want}, got \
+                 ({}, {}, {})",
+                m_star.len(),
+                m_hat.len(),
+                m_prime.len()
+            ));
+        }
+        Ok(Self {
+            m_star,
+            m_hat,
+            m_prime,
+            k_max,
+        })
+    }
 }
 
 /// Builds the target JDM for the **proposed method**: initialization,

@@ -376,6 +376,90 @@ impl EngineCore {
         }
     }
 
+    /// Overwrites the incrementally-maintained float state with exact bit
+    /// patterns captured from a running engine.
+    ///
+    /// `EngineCore::new` recomputes `S(k)` and the unnormalized distance
+    /// *fresh* from integer triangle counts; a live engine maintains them
+    /// *incrementally*, so after many accepted swaps the two can differ in
+    /// final ULPs. A resumed engine must continue with the incrementally-
+    /// maintained values or its accept/reject trajectory could diverge
+    /// from the uninterrupted run — checkpoints therefore serialize the
+    /// raw `f64` bit patterns and inject them here after reconstruction.
+    pub(crate) fn restore_float_state(&mut self, s: &[f64], dist_raw: f64) -> Result<(), String> {
+        if s.len() != self.s.len() {
+            return Err(format!(
+                "clustering-sum length mismatch: checkpoint has {}, engine expects {}",
+                s.len(),
+                self.s.len()
+            ));
+        }
+        self.s.copy_from_slice(s);
+        self.dist_raw = dist_raw;
+        Ok(())
+    }
+
+    /// Clones the degree-bucket arrays for checkpointing.
+    ///
+    /// Bucket *membership* is recomputable from (slots, degrees), but the
+    /// order of entries within a bucket is not: `commit_slot_swap` moves
+    /// entries between buckets in place, and `pick_swap`'s partner draw
+    /// indexes into a bucket — so the within-bucket order is part of the
+    /// resume-fidelity state.
+    pub(crate) fn bucket_state(&self) -> Vec<Vec<(u32, u8)>> {
+        self.buckets.clone()
+    }
+
+    /// Replaces the freshly constructed degree buckets with a checkpointed
+    /// ordering, validating consistency with the current slots/degrees and
+    /// rebuilding the position index.
+    pub(crate) fn restore_bucket_state(
+        &mut self,
+        buckets: Vec<Vec<(u32, u8)>>,
+    ) -> Result<(), String> {
+        if buckets.len() != self.buckets.len() {
+            return Err(format!(
+                "bucket count mismatch: checkpoint has {}, engine expects {}",
+                buckets.len(),
+                self.buckets.len()
+            ));
+        }
+        let mut seen = vec![[false; 2]; self.slots.len()];
+        let mut total = 0usize;
+        for (k, bucket) in buckets.iter().enumerate() {
+            for &(slot, side) in bucket {
+                let (slot_us, side_us) = (slot as usize, side as usize);
+                if slot_us >= self.slots.len() || side_us >= 2 {
+                    return Err(format!("bucket entry ({slot}, {side}) out of range"));
+                }
+                if std::mem::replace(&mut seen[slot_us][side_us], true) {
+                    return Err(format!("duplicate bucket entry ({slot}, {side})"));
+                }
+                let node = endpoint(self.slots[slot_us], side);
+                if self.deg[node as usize] as usize != k {
+                    return Err(format!(
+                        "bucket entry ({slot}, {side}) has degree {} but sits in bucket {k}",
+                        self.deg[node as usize]
+                    ));
+                }
+                total += 1;
+            }
+        }
+        if total != 2 * self.slots.len() {
+            return Err(format!(
+                "bucket entry count {total} != {}",
+                2 * self.slots.len()
+            ));
+        }
+        for bucket in &buckets {
+            for (i, &(slot, side)) in bucket.iter().enumerate() {
+                self.pos[slot as usize][side as usize] = i as u32;
+            }
+        }
+        self.buckets = buckets;
+        Ok(())
+    }
+
     /// Consistency check used by tests: recomputes every maintained
     /// quantity from scratch and compares.
     pub(crate) fn validate(&self) -> Result<(), String> {
@@ -596,6 +680,53 @@ impl RewireEngine {
     /// Releases the rewired graph.
     pub fn into_graph(self) -> Graph {
         self.core.graph
+    }
+
+    /// The evolving graph (checkpoint serialization reads the adjacency
+    /// lists in place).
+    pub fn graph(&self) -> &Graph {
+        &self.core.graph
+    }
+
+    /// The candidate slots `Ẽ_rew` in their current (mutated-by-swaps)
+    /// state; together with the graph and target this is the engine's
+    /// complete integer state.
+    pub fn slots(&self) -> &[(NodeId, NodeId)] {
+        &self.core.slots
+    }
+
+    /// The incrementally-maintained per-degree clustering sums `S(k)`;
+    /// checkpoints store their exact bit patterns (see
+    /// [`restore_float_state`](Self::restore_float_state)).
+    pub fn clustering_sums(&self) -> &[f64] {
+        &self.core.s
+    }
+
+    /// The incrementally-maintained unnormalized distance.
+    pub fn dist_raw(&self) -> f64 {
+        self.core.dist_raw
+    }
+
+    /// Injects checkpointed float state into a freshly reconstructed
+    /// engine so resumed runs continue bitwise-identically; errors on a
+    /// length mismatch (wrong graph/target for this checkpoint).
+    pub fn restore_float_state(&mut self, s: &[f64], dist_raw: f64) -> Result<(), String> {
+        self.core.restore_float_state(s, dist_raw)
+    }
+
+    /// The degree-bucket arrays (`buckets[k]` lists the candidate
+    /// (slot, side) pairs whose endpoint has degree `k`). Within-bucket
+    /// *order* is mutated by accepted swaps and consumed by the partner
+    /// draw, so it is part of the resume-fidelity state.
+    pub fn bucket_state(&self) -> Vec<Vec<(u32, u8)>> {
+        self.core.bucket_state()
+    }
+
+    /// Injects a checkpointed bucket ordering into a freshly
+    /// reconstructed engine; errors if it is inconsistent with the
+    /// current slots and degrees.
+    pub fn restore_bucket_state(&mut self, buckets: Vec<Vec<(u32, u8)>>) -> Result<(), String> {
+        self.core.restore_bucket_state(buckets)
     }
 
     /// Consistency check used by tests: recomputes every maintained
@@ -903,6 +1034,71 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(13);
         let stats = eng.run(2.0, &mut rng);
         assert_eq!(stats.attempts, 2 * m);
+    }
+
+    /// Reconstructing an engine from its serializable state mid-run —
+    /// graph adjacency (order-preserving), slots, and the float state's
+    /// exact bit patterns — continues the run bitwise-identically. This is
+    /// the fidelity contract the crash-safe checkpoints in `sgr-core`
+    /// build on.
+    #[test]
+    fn snapshot_and_resume_is_bitwise_identical() {
+        let g = social(16);
+        let props = LocalProperties::compute(&g);
+        let target: Vec<f64> = props
+            .clustering_by_degree
+            .iter()
+            .map(|&c| c * 0.4)
+            .collect();
+        let edges: Vec<_> = g.edges().collect();
+
+        // Uninterrupted run.
+        let mut full = RewireEngine::new(g.clone(), edges.clone(), &target);
+        let mut rng_full = Xoshiro256pp::seed_from_u64(17);
+        let full_stats = full.run_attempts(6_000, &mut rng_full);
+        assert!(full_stats.accepted > 0);
+
+        // Interrupted run: stop after 2_500 attempts, capture state…
+        let mut first = RewireEngine::new(g, edges, &target);
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        first.run_attempts(2_500, &mut rng);
+        let adj: Vec<Vec<NodeId>> = first
+            .graph()
+            .nodes()
+            .map(|u| first.graph().neighbors(u).to_vec())
+            .collect();
+        let slots = first.slots().to_vec();
+        let s = first.clustering_sums().to_vec();
+        let dist_raw = first.dist_raw();
+        let buckets = first.bucket_state();
+        let rng_state = rng.state();
+        drop(first); // …the "crash"
+
+        // …and resume from the captured state only.
+        let graph = Graph::from_adjacency(adj).unwrap();
+        let mut resumed = RewireEngine::new(graph, slots, &target);
+        resumed.restore_float_state(&s, dist_raw).unwrap();
+        resumed.restore_bucket_state(buckets).unwrap();
+        let mut rng = Xoshiro256pp::from_state(rng_state);
+        resumed.run_attempts(3_500, &mut rng);
+        resumed.validate().unwrap();
+
+        assert_eq!(full.distance().to_bits(), resumed.distance().to_bits());
+        let mut a: Vec<_> = full.into_graph().edges().collect();
+        let mut b: Vec<_> = resumed.into_graph().edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "edge multisets diverged after resume");
+    }
+
+    #[test]
+    fn restore_float_state_rejects_length_mismatch() {
+        let g = social(18);
+        let edges: Vec<_> = g.edges().collect();
+        let target = vec![0.0; g.max_degree() + 1];
+        let mut eng = RewireEngine::new(g, edges, &target);
+        let wrong = vec![0.0; eng.clustering_sums().len() + 1];
+        assert!(eng.restore_float_state(&wrong, 0.0).is_err());
     }
 
     #[test]

@@ -327,6 +327,47 @@ impl ParallelRewireEngine {
         self.core.graph
     }
 
+    /// The evolving graph (checkpoint serialization reads the adjacency
+    /// lists in place).
+    pub fn graph(&self) -> &Graph {
+        &self.core.graph
+    }
+
+    /// The candidate slots `Ẽ_rew` in their current (mutated-by-swaps)
+    /// state.
+    pub fn slots(&self) -> &[(NodeId, NodeId)] {
+        &self.core.slots
+    }
+
+    /// The incrementally-maintained per-degree clustering sums `S(k)`.
+    pub fn clustering_sums(&self) -> &[f64] {
+        &self.core.s
+    }
+
+    /// The incrementally-maintained unnormalized distance.
+    pub fn dist_raw(&self) -> f64 {
+        self.core.dist_raw
+    }
+
+    /// Injects checkpointed float state into a freshly reconstructed
+    /// engine (see
+    /// [`RewireEngine::restore_float_state`](crate::rewire::RewireEngine::restore_float_state)).
+    pub fn restore_float_state(&mut self, s: &[f64], dist_raw: f64) -> Result<(), String> {
+        self.core.restore_float_state(s, dist_raw)
+    }
+
+    /// The degree-bucket arrays (see
+    /// [`RewireEngine::bucket_state`](crate::rewire::RewireEngine::bucket_state)).
+    pub fn bucket_state(&self) -> Vec<Vec<(u32, u8)>> {
+        self.core.bucket_state()
+    }
+
+    /// Injects a checkpointed bucket ordering into a freshly
+    /// reconstructed engine.
+    pub fn restore_bucket_state(&mut self, buckets: Vec<Vec<(u32, u8)>>) -> Result<(), String> {
+        self.core.restore_bucket_state(buckets)
+    }
+
     /// Consistency check used by tests: recomputes every maintained
     /// quantity from scratch and compares.
     pub fn validate(&self) -> Result<(), String> {

@@ -230,6 +230,29 @@ impl CsrGraph {
         dv
     }
 
+    /// Raw arena access for the on-disk snapshot writer
+    /// ([`crate::snapshot`]): `(offsets, neighbors, num_edges, sorted)`.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[NodeId], usize, bool) {
+        (&self.offsets, &self.neighbors, self.num_edges, self.sorted)
+    }
+
+    /// Rebuilds a snapshot from raw arenas read back from disk, after the
+    /// snapshot reader has validated them (monotone offsets, in-range
+    /// neighbor ids, consistent edge count).
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        num_edges: usize,
+        sorted: bool,
+    ) -> Self {
+        Self {
+            offsets,
+            neighbors,
+            num_edges,
+            sorted,
+        }
+    }
+
     /// Thaws the snapshot back into a mutable [`Graph`] with the same
     /// node count and edge multiset. Per-node neighbor *order* is **not**
     /// preserved (the graph is rebuilt by re-adding edges in

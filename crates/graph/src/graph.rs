@@ -47,6 +47,32 @@ impl Graph {
         g
     }
 
+    /// Rebuilds a graph from raw adjacency lists, **preserving per-node
+    /// neighbor order** — unlike [`crate::CsrGraph::thaw`], which re-adds
+    /// edges and therefore reorders neighbor lists. Checkpoint restoration
+    /// uses this so order-sensitive float kernels (and the rewiring
+    /// engine's slot bookkeeping) resume bitwise-identically.
+    ///
+    /// The input must satisfy the storage conventions of this type: the
+    /// lists are symmetric (`v ∈ adj[u]` as many times as `u ∈ adj[v]`)
+    /// and each self-loop at `u` stores `u` twice in `adj[u]`.
+    ///
+    /// # Errors
+    /// Returns the first invariant violation found (out-of-range neighbor,
+    /// odd loop-entry count, asymmetry) as a message.
+    pub fn from_adjacency(adj: Vec<Vec<NodeId>>) -> Result<Self, String> {
+        let total: usize = adj.iter().map(Vec::len).sum();
+        if !total.is_multiple_of(2) {
+            return Err(format!("odd total neighbor-entry count {total}"));
+        }
+        let g = Self {
+            adj,
+            num_edges: total / 2,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
     /// Number of nodes (including isolated ones).
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -444,6 +470,30 @@ mod tests {
         g.add_edge(3, 0);
         assert!(g.has_edge(0, 3));
         g.validate().unwrap();
+    }
+
+    #[test]
+    fn from_adjacency_preserves_order() {
+        let mut g = triangle();
+        g.add_edge(1, 1);
+        g.add_edge(0, 2);
+        let adj: Vec<Vec<NodeId>> = g.nodes().map(|u| g.neighbors(u).to_vec()).collect();
+        let back = Graph::from_adjacency(adj).unwrap();
+        assert_eq!(back.num_edges(), g.num_edges());
+        for u in g.nodes() {
+            assert_eq!(back.neighbors(u), g.neighbors(u));
+        }
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn from_adjacency_rejects_invalid() {
+        // Asymmetric: 0 lists 1 but 1 does not list 0.
+        assert!(Graph::from_adjacency(vec![vec![1], vec![]]).is_err());
+        // Out-of-range neighbor.
+        assert!(Graph::from_adjacency(vec![vec![5], vec![0]]).is_err());
+        // Single loop entry (loops must be stored twice).
+        assert!(Graph::from_adjacency(vec![vec![0], vec![1]]).is_err());
     }
 
     #[test]

@@ -35,7 +35,10 @@
 //!   (the paper's dataset preprocessing step);
 //! * [`index`] — an O(1) multiplicity index (`A_ij` lookups) for triangle
 //!   and clustering algorithms;
-//! * [`io`] — whitespace-separated edge-list reading/writing.
+//! * [`io`] — whitespace-separated edge-list reading/writing;
+//! * [`snapshot`] — versioned, checksummed binary snapshots of CSR arenas
+//!   and the container format the restoration pipeline's crash-safe
+//!   checkpoints build on.
 
 mod graph;
 
@@ -43,8 +46,10 @@ pub mod components;
 pub mod csr;
 pub mod index;
 pub mod io;
+pub mod snapshot;
 pub mod view;
 
 pub use csr::{CsrGraph, RelabeledCsr};
 pub use graph::{DegreeVector, Graph, NodeId};
+pub use snapshot::SnapshotError;
 pub use view::GraphView;

@@ -1,0 +1,747 @@
+//! Versioned, checksummed on-disk snapshots.
+//!
+//! This module is the workspace's binary persistence substrate: it stores
+//! [`CsrGraph`] arenas on disk and provides the container format the
+//! restoration pipeline's crash-safe checkpoints (`sgr-core`) are built
+//! on. Everything is little-endian, flat, and checksummed, so a snapshot
+//! written on one machine loads bit-for-bit on another and a corrupted or
+//! truncated file is *always* reported as a typed [`SnapshotError`] —
+//! never a panic, never silent garbage.
+//!
+//! # Checkpoint format
+//!
+//! A snapshot file is a fixed 32-byte header followed by an opaque
+//! payload:
+//!
+//! ```text
+//! offset  size  field        encoding
+//! ------  ----  -----------  ----------------------------------------
+//!      0     8  magic        the ASCII bytes "SGRSNAP\0"
+//!      8     4  version      u32 LE — format version, currently 1
+//!     12     4  kind         u32 LE — payload discriminator
+//!     16     8  payload_len  u64 LE — exact byte length of the payload
+//!     24     8  checksum     u64 LE — checksum of the payload
+//!     32     …  payload      kind-specific section data
+//! ```
+//!
+//! **Versioning policy.** `version` covers the *container* (header layout
+//! and checksum definition) and every kind-specific payload layout
+//! together: any incompatible change to either bumps the single version
+//! number, and readers reject any version other than the one they were
+//! built for with [`SnapshotError::UnsupportedVersion`] rather than
+//! guessing. Forward compatibility is explicitly out of scope for
+//! checkpoint files — they are short-lived restart artifacts, not an
+//! archival format.
+//!
+//! **Checksum.** A chained SplitMix64 digest: the payload is split into
+//! little-endian 8-byte words (the final partial word zero-padded), and
+//!
+//! ```text
+//! h ← SplitMix64(SEED ⊕ payload_len).next()
+//! for each word w:  h ← SplitMix64(h ⊕ w).next()
+//! ```
+//!
+//! Mixing the length first distinguishes payloads that differ only in
+//! trailing zero bytes. This is an *integrity* check against torn writes
+//! and bit rot, not an authentication code.
+//!
+//! **Atomicity.** [`write_section`] writes to a `<path>.tmp` sibling and
+//! renames over the destination, so a crash mid-write can leave a stale
+//! temp file but never a half-written snapshot under the final name.
+//!
+//! **Payload encoding.** Payloads are built from LE primitives via
+//! [`PayloadWriter`] / [`PayloadReader`]: `u32`/`u64` scalars, `f64`
+//! values as raw IEEE-754 bit patterns (so float state round-trips
+//! bitwise, ULP-exactly), and `u64`-length-prefixed slices of each. The
+//! graph payload (`kind` [`KIND_CSR_GRAPH`]) is:
+//!
+//! ```text
+//! num_edges: u64, sorted: u64 (0|1), offsets: [u32], neighbors: [u32]
+//! ```
+//!
+//! `sgr-core` layers its restore-checkpoint payload (kind
+//! [`KIND_RESTORE_CHECKPOINT`]) on the same primitives; see
+//! `sgr_core::checkpoint`.
+
+use crate::{CsrGraph, NodeId};
+use std::io::Write;
+use std::path::Path;
+
+/// Magic bytes identifying a snapshot file.
+pub const MAGIC: [u8; 8] = *b"SGRSNAP\0";
+
+/// Current (and only) supported format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Header length in bytes (magic + version + kind + payload_len + checksum).
+pub const HEADER_LEN: usize = 32;
+
+/// Payload kind: a [`CsrGraph`] snapshot.
+pub const KIND_CSR_GRAPH: u32 = 1;
+
+/// Payload kind: a restoration-pipeline checkpoint (`sgr_core::checkpoint`).
+pub const KIND_RESTORE_CHECKPOINT: u32 = 2;
+
+const CHECKSUM_SEED: u64 = 0x5347_5253_4e41_5021;
+
+/// Errors arising while writing or reading a snapshot file.
+///
+/// Each distinct corruption mode has its own variant so callers (and the
+/// CLI) can report precisely what is wrong with a file.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The header declares a format version this reader does not support.
+    UnsupportedVersion(u32),
+    /// The header's payload kind differs from what the caller expected.
+    KindMismatch {
+        /// Kind the caller asked for.
+        expected: u32,
+        /// Kind found in the header.
+        found: u32,
+    },
+    /// The file ends before the header (or declared payload) is complete.
+    Truncated,
+    /// The payload checksum does not match the header.
+    ChecksumMismatch,
+    /// Structurally invalid content (trailing bytes, inconsistent arenas,
+    /// a section underrun after the checksum passed, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "I/O error: {e}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            SnapshotError::KindMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot kind mismatch: expected {expected}, found {found}"
+                )
+            }
+            SnapshotError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Chained-SplitMix64 digest of a payload (see the module docs).
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mix = |h: u64, w: u64| sgr_util::rng::SplitMix64::new(h ^ w).next_u64();
+    let mut h = mix(CHECKSUM_SEED, payload.len() as u64);
+    let mut chunks = payload.chunks_exact(8);
+    for chunk in &mut chunks {
+        h = mix(h, u64::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rest.len()].copy_from_slice(rest);
+        h = mix(h, u64::from_le_bytes(buf));
+    }
+    h
+}
+
+/// Writes `payload` under the snapshot container format, atomically: the
+/// bytes go to a `<path>.tmp` sibling which is then renamed over `path`.
+pub fn write_section<P: AsRef<Path>>(
+    path: P,
+    kind: u32,
+    payload: &[u8],
+) -> Result<(), SnapshotError> {
+    let path = path.as_ref();
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&kind.to_le_bytes());
+    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    header.extend_from_slice(&checksum(payload).to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        file.write_all(&header)?;
+        file.write_all(payload)?;
+        file.flush()?;
+        file.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and verifies a snapshot file, returning its payload. The header
+/// must carry the expected `kind`; every corruption mode maps to its
+/// [`SnapshotError`] variant.
+pub fn read_section<P: AsRef<Path>>(path: P, kind: u32) -> Result<Vec<u8>, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < HEADER_LEN {
+        // A short file that does not even carry the magic is still
+        // classified by what fails first: magic, then length.
+        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        if bytes.len() < 8 && !MAGIC.starts_with(&bytes) {
+            return Err(SnapshotError::BadMagic);
+        }
+        return Err(SnapshotError::Truncated);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    let found_kind = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if found_kind != kind {
+        return Err(SnapshotError::KindMismatch {
+            expected: kind,
+            found: found_kind,
+        });
+    }
+    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let stored_sum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+    let body = &bytes[HEADER_LEN..];
+    let Ok(payload_len) = usize::try_from(payload_len) else {
+        return Err(SnapshotError::Truncated);
+    };
+    if body.len() < payload_len {
+        return Err(SnapshotError::Truncated);
+    }
+    if body.len() > payload_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after declared payload",
+            body.len() - payload_len
+        )));
+    }
+    if checksum(body) != stored_sum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(body.to_vec())
+}
+
+/// Little-endian payload builder; the write-side half of the encoding
+/// described in the module docs. All slices are `u64`-length-prefixed.
+#[derive(Default)]
+pub struct PayloadWriter {
+    buf: Vec<u8>,
+}
+
+impl PayloadWriter {
+    /// Creates an empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes the payload, yielding the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u32` scalar.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` scalar.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern (round-trips
+    /// bitwise, including NaN payloads and signed zeros).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as a `u64` (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, vs: &[u64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a length-prefixed `f64` slice (bit patterns).
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        self.put_u64(vs.len() as u64);
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// Little-endian payload reader; the read-side half of [`PayloadWriter`].
+///
+/// An underrun after the container checksum has already passed indicates a
+/// malformed payload (or a reader/writer mismatch) and surfaces as
+/// [`SnapshotError::Corrupt`].
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wraps a payload buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Errors unless the payload was fully consumed.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "{} unread payload bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| SnapshotError::Corrupt("payload section underrun".into()))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u32` scalar.
+    pub fn get_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` scalar.
+    pub fn get_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool (rejecting values other than 0 and 1).
+    pub fn get_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.get_u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("invalid bool word {other}"))),
+        }
+    }
+
+    fn get_len(&mut self) -> Result<usize, SnapshotError> {
+        let len = self.get_u64()?;
+        usize::try_from(len)
+            .map_err(|_| SnapshotError::Corrupt(format!("slice length {len} overflows usize")))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let len = self.get_len()?;
+        let bytes =
+            self.take(len.checked_mul(4).ok_or_else(|| {
+                SnapshotError::Corrupt("slice byte length overflows usize".into())
+            })?)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn get_u64_slice(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let len = self.get_len()?;
+        let bytes =
+            self.take(len.checked_mul(8).ok_or_else(|| {
+                SnapshotError::Corrupt("slice byte length overflows usize".into())
+            })?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `f64` slice (bit patterns).
+    pub fn get_f64_slice(&mut self) -> Result<Vec<f64>, SnapshotError> {
+        Ok(self
+            .get_u64_slice()?
+            .into_iter()
+            .map(f64::from_bits)
+            .collect())
+    }
+}
+
+/// Writes a [`CsrGraph`] snapshot to `path` (kind [`KIND_CSR_GRAPH`]).
+pub fn write_csr<P: AsRef<Path>>(csr: &CsrGraph, path: P) -> Result<(), SnapshotError> {
+    write_section(path, KIND_CSR_GRAPH, &encode_csr(csr))
+}
+
+/// Encodes a [`CsrGraph`] into its payload bytes (without the container
+/// header); exposed so benches can measure pure encode cost.
+pub fn encode_csr(csr: &CsrGraph) -> Vec<u8> {
+    let (offsets, neighbors, num_edges, sorted) = csr.raw_parts();
+    let mut w = PayloadWriter::new();
+    w.put_u64(num_edges as u64);
+    w.put_bool(sorted);
+    w.put_u32_slice(offsets);
+    w.put_u32_slice(neighbors);
+    w.into_bytes()
+}
+
+/// Reads a [`CsrGraph`] snapshot from `path`, validating the arenas
+/// (monotone offsets, in-range neighbor ids, consistent edge count)
+/// before constructing the graph.
+pub fn read_csr<P: AsRef<Path>>(path: P) -> Result<CsrGraph, SnapshotError> {
+    let payload = read_section(path, KIND_CSR_GRAPH)?;
+    let mut r = PayloadReader::new(&payload);
+    let num_edges = r.get_u64()?;
+    let sorted = r.get_bool()?;
+    let offsets = r.get_u32_slice()?;
+    let neighbors = r.get_u32_slice()?;
+    r.finish()?;
+    decode_csr_parts(num_edges, sorted, offsets, neighbors)
+}
+
+fn decode_csr_parts(
+    num_edges: u64,
+    sorted: bool,
+    offsets: Vec<u32>,
+    neighbors: Vec<NodeId>,
+) -> Result<CsrGraph, SnapshotError> {
+    if offsets.is_empty() {
+        return Err(SnapshotError::Corrupt("empty offsets arena".into()));
+    }
+    if offsets[0] != 0 {
+        return Err(SnapshotError::Corrupt("offsets do not start at 0".into()));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(SnapshotError::Corrupt("offsets not monotone".into()));
+    }
+    if *offsets.last().unwrap() as usize != neighbors.len() {
+        return Err(SnapshotError::Corrupt(
+            "final offset disagrees with neighbor arena length".into(),
+        ));
+    }
+    let n = offsets.len() - 1;
+    if neighbors.iter().any(|&v| (v as usize) >= n) {
+        return Err(SnapshotError::Corrupt("out-of-range neighbor id".into()));
+    }
+    let num_edges = usize::try_from(num_edges)
+        .map_err(|_| SnapshotError::Corrupt("edge count overflows usize".into()))?;
+    if num_edges * 2 != neighbors.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "edge count {num_edges} disagrees with {} neighbor entries",
+            neighbors.len()
+        )));
+    }
+    Ok(CsrGraph::from_raw_parts(
+        offsets, neighbors, num_edges, sorted,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sgr_snapshot_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn messy() -> Graph {
+        let mut g = Graph::from_edges(5, &[(0, 1), (0, 1), (1, 2), (2, 0), (3, 1)]);
+        g.add_edge(4, 4);
+        g.add_edge(1, 1);
+        g
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_order() {
+        let g = messy();
+        let csr = g.freeze();
+        let path = tmp("roundtrip.snap");
+        write_csr(&csr, &path).unwrap();
+        let back = read_csr(&path).unwrap();
+        assert_eq!(back.num_nodes(), csr.num_nodes());
+        assert_eq!(back.num_edges(), csr.num_edges());
+        assert_eq!(back.is_sorted(), csr.is_sorted());
+        for u in g.nodes() {
+            assert_eq!(back.neighbors(u), csr.neighbors(u), "order changed at {u}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sorted_flag_roundtrips() {
+        let csr = CsrGraph::freeze_sorted(&messy());
+        let path = tmp("sorted.snap");
+        write_csr(&csr, &path).unwrap();
+        assert!(read_csr(&path).unwrap().is_sorted());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let csr = Graph::with_nodes(0).freeze();
+        let path = tmp("empty.snap");
+        write_csr(&csr, &path).unwrap();
+        let back = read_csr(&path).unwrap();
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_edges(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping a byte inside every header field produces the *distinct*
+    /// typed error for that field — the satellite's core requirement.
+    #[test]
+    fn byte_flips_at_every_header_offset_are_typed() {
+        let csr = messy().freeze();
+        let path = tmp("flip.snap");
+        write_csr(&csr, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        for offset in 0..HEADER_LEN {
+            let mut bytes = pristine.clone();
+            bytes[offset] ^= 0x01;
+            let flipped = tmp("flipped.snap");
+            std::fs::write(&flipped, &bytes).unwrap();
+            let err = read_csr(&flipped).unwrap_err();
+            match offset {
+                0..=7 => assert!(
+                    matches!(err, SnapshotError::BadMagic),
+                    "offset {offset}: {err}"
+                ),
+                8..=11 => assert!(
+                    matches!(err, SnapshotError::UnsupportedVersion(_)),
+                    "offset {offset}: {err}"
+                ),
+                12..=15 => assert!(
+                    matches!(err, SnapshotError::KindMismatch { .. }),
+                    "offset {offset}: {err}"
+                ),
+                16..=23 => assert!(
+                    matches!(err, SnapshotError::Truncated | SnapshotError::Corrupt(_)),
+                    "offset {offset}: {err}"
+                ),
+                _ => assert!(
+                    matches!(err, SnapshotError::ChecksumMismatch),
+                    "offset {offset}: {err}"
+                ),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp("flipped.snap")).ok();
+    }
+
+    #[test]
+    fn payload_byte_flip_is_checksum_mismatch() {
+        let csr = messy().freeze();
+        let path = tmp("payload_flip.snap");
+        write_csr(&csr, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_prefix_is_typed() {
+        let csr = messy().freeze();
+        let path = tmp("trunc.snap");
+        write_csr(&csr, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in 0..bytes.len() {
+            let short = tmp("trunc_cut.snap");
+            std::fs::write(&short, &bytes[..cut]).unwrap();
+            let err = read_csr(&short).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic),
+                "cut {cut}: {err}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp("trunc_cut.snap")).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let csr = messy().freeze();
+        let path = tmp("trailing.snap");
+        write_csr(&csr, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_kind_mismatch() {
+        let path = tmp("kind.snap");
+        write_section(&path, KIND_RESTORE_CHECKPOINT, b"whatever").unwrap();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::KindMismatch {
+                expected: KIND_CSR_GRAPH,
+                found: KIND_RESTORE_CHECKPOINT,
+            }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        assert!(matches!(
+            read_csr(tmp("does_not_exist.snap")).unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn non_snapshot_file_is_bad_magic() {
+        let path = tmp("text.snap");
+        std::fs::write(&path, b"# definitely an edge list\n1 2\n").unwrap();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inconsistent_arenas_are_corrupt() {
+        // Well-formed container, nonsense payload: offsets say 2 entries
+        // but the neighbor arena is empty.
+        let path = tmp("arena.snap");
+        let mut w = PayloadWriter::new();
+        w.put_u64(1); // num_edges
+        w.put_bool(false);
+        w.put_u32_slice(&[0, 2]); // offsets claim two neighbor entries
+        w.put_u32_slice(&[]); // … but the arena has none
+        write_section(&path, KIND_CSR_GRAPH, &w.into_bytes()).unwrap();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_primitives_roundtrip() {
+        let mut w = PayloadWriter::new();
+        w.put_u32(7);
+        w.put_u64(u64::MAX);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_bool(true);
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[]);
+        w.put_f64_slice(&[1.5, f64::INFINITY]);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_u32().unwrap(), 7);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.get_f64().unwrap().is_nan());
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u32_slice().unwrap(), vec![1, 2, 3]);
+        assert!(r.get_u64_slice().unwrap().is_empty());
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1.5, f64::INFINITY]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_underrun_is_corrupt() {
+        let mut w = PayloadWriter::new();
+        w.put_u32(1);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            r.get_u64().unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        // Unread bytes are also an error.
+        let mut r = PayloadReader::new(&bytes);
+        let _ = r.get_u32().unwrap();
+        r.finish().unwrap();
+        let r = PayloadReader::new(&bytes);
+        assert!(matches!(r.finish().unwrap_err(), SnapshotError::Corrupt(_)));
+    }
+
+    #[test]
+    fn checksum_distinguishes_length_and_padding() {
+        assert_ne!(checksum(b""), checksum(b"\0"));
+        assert_ne!(checksum(b"\0\0\0\0\0\0\0\0"), checksum(b"\0"));
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing() {
+        let path = tmp("atomic.snap");
+        let a = Graph::from_edges(2, &[(0, 1)]).freeze();
+        let b = messy().freeze();
+        write_csr(&a, &path).unwrap();
+        write_csr(&b, &path).unwrap();
+        assert_eq!(read_csr(&path).unwrap().num_edges(), b.num_edges());
+        // No temp file left behind.
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp_name).exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,374 @@
+//! Fault injection and retry for flaky crawls.
+//!
+//! # Failure model
+//!
+//! A real crawler talks to a rate-limited, occasionally failing API; the
+//! paper's access model (§III-A) idealizes that away. This module puts
+//! the failures back — deterministically — so the crawl layer's error
+//! handling can be tested without a network:
+//!
+//! * **Transient failures** ([`QueryFault::Transient`]): the request
+//!   dies (timeout, connection reset, 5xx). Retrying may succeed.
+//! * **Rate limiting** ([`QueryFault::RateLimited`]): the service tells
+//!   the crawler to back off, with a stall hint. Retrying after the
+//!   stall may succeed.
+//!
+//! Failures are injected by [`FlakyAccessModel`], a decorator over
+//! [`AccessModel`] that draws faults from its **own** seeded RNG stream.
+//! Keeping the fault stream separate from the walk RNG is the load-bearing
+//! design point: the walk's transition draws consume the same stream
+//! positions whether or not faults fire, so a flaky crawl that eventually
+//! succeeds visits the **identical node sequence** as the failure-free
+//! crawl with the same walk seed (pinned by tests here and in
+//! [`crate::walks`]).
+//!
+//! Crawlers recover via [`query_with_retry`]: bounded attempts with
+//! exponential backoff (doubling from [`RetryPolicy::base_backoff`],
+//! capped at [`RetryPolicy::max_backoff`]; rate-limit stall hints are
+//! honored when longer). A node that stays unreachable after
+//! [`RetryPolicy::max_attempts`] surfaces as a typed [`CrawlError`]
+//! carrying the node, the attempt count, and the last fault — crawlers
+//! propagate it; they never panic and never record a half-fetched node.
+//!
+//! A failed attempt consumes **no** query budget ([`AccessModel`] counts
+//! only completed requests), matching the accounting a real crawler
+//! would do.
+
+use std::time::Duration;
+
+use crate::access::AccessModel;
+use sgr_graph::{Graph, GraphView, NodeId};
+use sgr_util::Xoshiro256pp;
+
+/// One failed neighbor-list fetch, as a real crawl would observe it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryFault {
+    /// The request died mid-flight (timeout, reset, server error).
+    Transient,
+    /// The service throttled the crawler; `retry_after_ms` is its stall
+    /// hint (simulated — tests run with a zero hint and a zero-wait
+    /// retry policy, so nothing actually sleeps).
+    RateLimited {
+        /// Suggested wait before the next attempt, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for QueryFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryFault::Transient => write!(f, "transient query failure"),
+            QueryFault::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms} ms)")
+            }
+        }
+    }
+}
+
+/// A crawl aborted because one node stayed unreachable through the whole
+/// retry budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrawlError {
+    /// The node whose neighbor list could not be fetched.
+    pub node: NodeId,
+    /// Attempts made (== the policy's `max_attempts`).
+    pub attempts: u32,
+    /// The fault observed on the final attempt.
+    pub last_fault: QueryFault,
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "querying node {} failed after {} attempts: {}",
+            self.node, self.attempts, self.last_fault
+        )
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+/// A neighbor-list source that can fail per request.
+///
+/// The fallible crawlers ([`crate::try_random_walk`]) are written against
+/// this trait, so the same walk code runs over the ideal [`AccessModel`]
+/// (which never fails) and the [`FlakyAccessModel`] decorator.
+pub trait NeighborSource {
+    /// Attempts to fetch `N(v)`.
+    fn try_query(&mut self, v: NodeId) -> Result<Vec<NodeId>, QueryFault>;
+}
+
+impl<G: GraphView> NeighborSource for AccessModel<'_, G> {
+    fn try_query(&mut self, v: NodeId) -> Result<Vec<NodeId>, QueryFault> {
+        Ok(self.query(v).to_vec())
+    }
+}
+
+/// Bounded-retry policy with exponential backoff.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per node (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Wait after the first failure; doubles per subsequent failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (also caps honored rate-limit stall hints).
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A zero-wait policy for tests and simulations: same retry
+    /// semantics, no real sleeping.
+    pub fn no_wait(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Backoff before retry number `attempt + 1`, given `attempt` failures
+    /// so far (1-based): `base · 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << (attempt - 1).min(16);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+
+    /// The wait implied by `fault` after `attempt` failures: exponential
+    /// backoff, or the rate-limit stall hint when that is longer (still
+    /// capped at `max_backoff`).
+    pub fn wait_for(&self, fault: QueryFault, attempt: u32) -> Duration {
+        let backoff = self.backoff(attempt);
+        match fault {
+            QueryFault::Transient => backoff,
+            QueryFault::RateLimited { retry_after_ms } => backoff
+                .max(Duration::from_millis(retry_after_ms))
+                .min(self.max_backoff),
+        }
+    }
+}
+
+/// Fetches `N(v)` with bounded retry and exponential backoff; the typed
+/// [`CrawlError`] surfaces only after the whole budget is exhausted.
+pub fn query_with_retry<S: NeighborSource>(
+    src: &mut S,
+    v: NodeId,
+    policy: &RetryPolicy,
+) -> Result<Vec<NodeId>, CrawlError> {
+    assert!(policy.max_attempts >= 1, "retry policy needs >= 1 attempt");
+    let mut last_fault = QueryFault::Transient;
+    for attempt in 1..=policy.max_attempts {
+        match src.try_query(v) {
+            Ok(nbrs) => return Ok(nbrs),
+            Err(fault) => {
+                last_fault = fault;
+                if attempt < policy.max_attempts {
+                    let wait = policy.wait_for(fault, attempt);
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                }
+            }
+        }
+    }
+    Err(CrawlError {
+        node: v,
+        attempts: policy.max_attempts,
+        last_fault,
+    })
+}
+
+/// A fault-injecting decorator over [`AccessModel`].
+///
+/// Each `try_query` first rolls the **fault RNG** (its own stream, seeded
+/// independently of the walk RNG): with probability `failure_rate` the
+/// request dies transiently; with probability `rate_limit_rate` it is
+/// rate-limited with the configured stall hint; otherwise the inner
+/// query proceeds. Failed attempts never touch the inner model, so query
+/// budgets count completed requests only.
+///
+/// Everything is deterministic in the fault seed — the same seed
+/// reproduces the same fault pattern, which is what makes flaky-crawl
+/// tests exact rather than statistical.
+pub struct FlakyAccessModel<'g, G: GraphView = Graph> {
+    inner: AccessModel<'g, G>,
+    fault_rng: Xoshiro256pp,
+    failure_rate: f64,
+    rate_limit_rate: f64,
+    retry_after_ms: u64,
+    faults_injected: u64,
+}
+
+impl<'g, G: GraphView> FlakyAccessModel<'g, G> {
+    /// Wraps `graph` with independent per-request failure draws.
+    ///
+    /// `failure_rate` and `rate_limit_rate` are probabilities in
+    /// `[0, 1]` with `failure_rate + rate_limit_rate <= 1`.
+    pub fn new(
+        graph: &'g G,
+        failure_rate: f64,
+        rate_limit_rate: f64,
+        retry_after_ms: u64,
+        fault_seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&failure_rate)
+                && (0.0..=1.0).contains(&rate_limit_rate)
+                && failure_rate + rate_limit_rate <= 1.0,
+            "fault rates must be probabilities summing to <= 1"
+        );
+        Self {
+            inner: AccessModel::new(graph),
+            fault_rng: Xoshiro256pp::seed_from_u64(fault_seed),
+            failure_rate,
+            rate_limit_rate,
+            retry_after_ms,
+            faults_injected: 0,
+        }
+    }
+
+    /// The wrapped query-counting model (budget reporting).
+    pub fn inner(&self) -> &AccessModel<'g, G> {
+        &self.inner
+    }
+
+    /// Uniform random seed node (delegates; see
+    /// [`AccessModel::random_seed`]).
+    pub fn random_seed(&self, rng: &mut Xoshiro256pp) -> NodeId {
+        self.inner.random_seed(rng)
+    }
+
+    /// Number of faults injected so far (across all retries).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+}
+
+impl<G: GraphView> NeighborSource for FlakyAccessModel<'_, G> {
+    fn try_query(&mut self, v: NodeId) -> Result<Vec<NodeId>, QueryFault> {
+        let roll = self.fault_rng.next_f64();
+        if roll < self.failure_rate {
+            self.faults_injected += 1;
+            return Err(QueryFault::Transient);
+        }
+        if roll < self.failure_rate + self.rate_limit_rate {
+            self.faults_injected += 1;
+            return Err(QueryFault::RateLimited {
+                retry_after_ms: self.retry_after_ms,
+            });
+        }
+        Ok(self.inner.query(v).to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn social(seed: u64) -> Graph {
+        sgr_gen::holme_kim(200, 3, 0.5, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        let g = social(1);
+        let mut flaky = FlakyAccessModel::new(&g, 0.4, 0.1, 0, 7);
+        let policy = RetryPolicy::no_wait(20);
+        for v in 0..20u32 {
+            let got = query_with_retry(&mut flaky, v, &policy).unwrap();
+            assert_eq!(got, g.neighbors(v));
+        }
+        assert!(flaky.faults_injected() > 0, "fault rates never fired");
+        // Only completed requests count against the budget.
+        assert_eq!(flaky.inner().query_calls(), 20);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        let g = social(2);
+        // failure_rate 1.0: every attempt dies.
+        let mut flaky = FlakyAccessModel::new(&g, 1.0, 0.0, 0, 3);
+        let policy = RetryPolicy::no_wait(4);
+        let err = query_with_retry(&mut flaky, 5, &policy).unwrap_err();
+        assert_eq!(err.node, 5);
+        assert_eq!(err.attempts, 4);
+        assert_eq!(err.last_fault, QueryFault::Transient);
+        assert_eq!(flaky.inner().query_calls(), 0);
+        assert!(err.to_string().contains("node 5"));
+    }
+
+    #[test]
+    fn fault_pattern_is_deterministic_in_the_seed() {
+        let g = social(3);
+        let run = |fault_seed: u64| {
+            let mut flaky = FlakyAccessModel::new(&g, 0.5, 0.2, 0, fault_seed);
+            (0..50u32)
+                .map(|v| flaky.try_query(v % 7).is_ok())
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds, same fault pattern");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+        };
+        assert_eq!(policy.backoff(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff(2), Duration::from_millis(200));
+        assert_eq!(policy.backoff(3), Duration::from_millis(400));
+        assert_eq!(policy.backoff(4), Duration::from_millis(450));
+        assert_eq!(policy.backoff(9), Duration::from_millis(450));
+        // The rate-limit stall hint wins when longer, but respects the cap.
+        assert_eq!(
+            policy.wait_for(
+                QueryFault::RateLimited {
+                    retry_after_ms: 300
+                },
+                1
+            ),
+            Duration::from_millis(300)
+        );
+        assert_eq!(
+            policy.wait_for(
+                QueryFault::RateLimited {
+                    retry_after_ms: 900
+                },
+                1
+            ),
+            Duration::from_millis(450)
+        );
+    }
+
+    #[test]
+    fn rate_limit_faults_carry_the_stall_hint() {
+        let g = social(4);
+        let mut flaky = FlakyAccessModel::new(&g, 0.0, 1.0, 250, 5);
+        match flaky.try_query(0) {
+            Err(QueryFault::RateLimited { retry_after_ms }) => {
+                assert_eq!(retry_after_ms, 250)
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let g = social(5);
+        let err = std::panic::catch_unwind(|| FlakyAccessModel::new(&g, 0.8, 0.5, 0, 1));
+        assert!(err.is_err(), "rates summing over 1 must be rejected");
+    }
+}

@@ -26,15 +26,26 @@
 //! nodes — the paper's sampling list `L = ((x_i, N(x_i)))_{i=1..r}`. A
 //! [`Subgraph`] (`G'` in the paper, §III-D) is induced from the union of
 //! the queried nodes' edge sets.
+//!
+//! Real crawls also fail: [`fault`] adds a deterministic failure model
+//! ([`FlakyAccessModel`] injecting transient and rate-limit faults) and
+//! bounded retry with exponential backoff; [`try_random_walk`] is the
+//! fallible walk built on it, guaranteed to visit the same node sequence
+//! as the failure-free walk whenever the retries eventually succeed.
 
 pub mod access;
 pub mod crawl;
+pub mod fault;
 pub mod subgraph;
 pub mod walks;
 
 pub use access::AccessModel;
 pub use crawl::{bfs, forest_fire, snowball, Crawl};
+pub use fault::{
+    query_with_retry, CrawlError, FlakyAccessModel, NeighborSource, QueryFault, RetryPolicy,
+};
 pub use subgraph::Subgraph;
 pub use walks::{
     metropolis_hastings_walk, non_backtracking_walk, random_walk, random_walk_until_fraction,
+    try_random_walk,
 };

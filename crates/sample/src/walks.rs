@@ -2,6 +2,7 @@
 
 use crate::access::AccessModel;
 use crate::crawl::Crawl;
+use crate::fault::{query_with_retry, CrawlError, NeighborSource, RetryPolicy};
 use sgr_graph::{GraphView, NodeId};
 use sgr_util::Xoshiro256pp;
 
@@ -20,14 +21,39 @@ pub fn random_walk<G: GraphView>(
     target_queried: usize,
     rng: &mut Xoshiro256pp,
 ) -> Crawl {
+    // The ideal access model never fails, so one attempt always succeeds.
+    match try_random_walk(am, seed, target_queried, &RetryPolicy::no_wait(1), rng) {
+        Ok(crawl) => crawl,
+        Err(_) => unreachable!("AccessModel::try_query is infallible"),
+    }
+}
+
+/// [`random_walk`] over a fallible [`NeighborSource`]: identical transition
+/// logic — and an identical walk-RNG stream, fault or no fault — plus
+/// bounded retry with backoff on every neighbor fetch (see the failure
+/// model in [`crate::fault`]).
+///
+/// A node that stays unreachable through the whole retry budget aborts the
+/// crawl with a typed [`CrawlError`]; the partial crawl is dropped, never
+/// returned half-fetched.
+pub fn try_random_walk<S: NeighborSource>(
+    src: &mut S,
+    seed: NodeId,
+    target_queried: usize,
+    policy: &RetryPolicy,
+    rng: &mut Xoshiro256pp,
+) -> Result<Crawl, CrawlError> {
     let mut crawl = Crawl::default();
     let max_steps = target_queried.saturating_mul(1000).max(1024);
     let mut current = seed;
     for _ in 0..max_steps {
-        crawl.neighbors.entry(current).or_insert_with(|| {
-            let fetched = am.query(current).to_vec();
-            fetched
-        });
+        // Not the entry() API: the fetch is fallible, and `?` cannot
+        // escape an or_insert_with closure.
+        #[allow(clippy::map_entry)]
+        if !crawl.neighbors.contains_key(&current) {
+            let fetched = query_with_retry(src, current, policy)?;
+            crawl.neighbors.insert(current, fetched);
+        }
         crawl.seq.push(current);
         if crawl.neighbors.len() >= target_queried {
             break;
@@ -38,7 +64,7 @@ pub fn random_walk<G: GraphView>(
         }
         current = nbrs[rng.gen_range(nbrs.len())];
     }
-    crawl
+    Ok(crawl)
 }
 
 /// Convenience wrapper used by the experiment harness: walk a hidden graph

@@ -1,0 +1,82 @@
+//! The flaky-crawl guarantee: injected faults plus retry never perturb the
+//! walk. Because [`FlakyAccessModel`] draws faults from its own RNG stream,
+//! a crawl that survives its failures is **identical** — same visit
+//! sequence, same neighbor lists, same query accounting — to the
+//! failure-free crawl with the same walk seed.
+
+use proptest::prelude::*;
+use sgr_sample::{
+    random_walk, try_random_walk, AccessModel, FlakyAccessModel, QueryFault, RetryPolicy,
+};
+use sgr_util::Xoshiro256pp;
+
+fn hidden(seed: u64) -> sgr_graph::Graph {
+    sgr_gen::holme_kim(500, 4, 0.5, &mut Xoshiro256pp::seed_from_u64(seed)).unwrap()
+}
+
+#[test]
+fn flaky_walk_with_retry_matches_failure_free_walk() {
+    let g = hidden(21);
+    let walk_seed = 5;
+    let clean = {
+        let mut am = AccessModel::new(&g);
+        let mut rng = Xoshiro256pp::seed_from_u64(walk_seed);
+        random_walk(&mut am, 0, 60, &mut rng)
+    };
+    let mut flaky = FlakyAccessModel::new(&g, 0.3, 0.15, 0, 77);
+    let mut rng = Xoshiro256pp::seed_from_u64(walk_seed);
+    let crawl = try_random_walk(&mut flaky, 0, 60, &RetryPolicy::no_wait(64), &mut rng).unwrap();
+
+    assert_eq!(crawl.seq, clean.seq, "faults perturbed the walk");
+    assert_eq!(crawl.neighbors, clean.neighbors);
+    assert!(flaky.faults_injected() > 0, "fault rates never fired");
+    // Failed attempts consume no query budget: one completed query per
+    // distinct visited node, exactly like the clean crawl.
+    assert_eq!(flaky.inner().query_calls(), crawl.num_queried());
+}
+
+#[test]
+fn unreachable_node_aborts_with_typed_error() {
+    let g = hidden(22);
+    // Every attempt fails; even a generous retry budget is exhausted on
+    // the very first node.
+    let mut flaky = FlakyAccessModel::new(&g, 1.0, 0.0, 0, 3);
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let err = try_random_walk(&mut flaky, 7, 20, &RetryPolicy::no_wait(5), &mut rng).unwrap_err();
+    assert_eq!(err.node, 7);
+    assert_eq!(err.attempts, 5);
+    assert_eq!(err.last_fault, QueryFault::Transient);
+    assert_eq!(flaky.inner().query_calls(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The identity holds for arbitrary fault seeds and rates: the fault
+    /// stream is independent of the walk stream by construction, so no
+    /// fault pattern can change what the walk visits.
+    #[test]
+    fn retry_equivalence_for_arbitrary_fault_patterns(
+        walk_seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        failure_rate in 0.0f64..0.45,
+        rate_limit_rate in 0.0f64..0.45,
+    ) {
+        let g = hidden(23);
+        let clean = {
+            let mut am = AccessModel::new(&g);
+            let mut rng = Xoshiro256pp::seed_from_u64(walk_seed);
+            random_walk(&mut am, 3, 40, &mut rng)
+        };
+        let mut flaky =
+            FlakyAccessModel::new(&g, failure_rate, rate_limit_rate, 0, fault_seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(walk_seed);
+        // With per-attempt success probability >= 0.1 and 512 attempts,
+        // a node failing the whole budget is impossible in practice.
+        let crawl =
+            try_random_walk(&mut flaky, 3, 40, &RetryPolicy::no_wait(512), &mut rng).unwrap();
+        prop_assert_eq!(crawl.seq, clean.seq);
+        prop_assert_eq!(crawl.neighbors, clean.neighbors);
+        prop_assert_eq!(flaky.inner().query_calls(), 40);
+    }
+}
