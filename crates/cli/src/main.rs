@@ -9,6 +9,8 @@
 //! sgr props    --graph restored.edges
 //! sgr compare  --original g.edges --generated restored.edges
 //! sgr dissim   --original g.edges --generated restored.edges
+//! sgr freeze   --graph restored.edges --out restored.sgrsnap
+//! sgr load     --snapshot restored.sgrsnap --out thawed.edges
 //! sgr render   --graph restored.edges --out restored.svg
 //! ```
 //!
@@ -28,6 +30,8 @@ fn main() {
         Some("props") => commands::props(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("dissim") => commands::dissim(&argv[1..]),
+        Some("freeze") => commands::freeze(&argv[1..]),
+        Some("load") => commands::load_snapshot(&argv[1..]),
         Some("render") => commands::render(&argv[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print_usage();
@@ -56,6 +60,8 @@ SUBCOMMANDS:
   props      print the 12 structural properties of a graph
   compare    L1 distances of the 12 properties between two graphs
   dissim     Schieber et al. network dissimilarity of two graphs
+  freeze     cache a graph as an on-disk CSR snapshot
+  load       thaw a CSR snapshot back into an edge-list file
   render     force-directed SVG rendering of a graph
 
 Run `sgr <SUBCOMMAND> --help` for the options of each subcommand."

@@ -114,9 +114,11 @@ pub fn extend_subgraph_with(
     }
 
     let t = std::time::Instant::now();
-    let (edges, match_stats) = wire_stubs_with(&mut g, &target_deg, &add, rng, scratch)?;
+    let (_, match_stats) = wire_stubs_with(&mut g, &target_deg, &add, rng, scratch)?;
     let stub_matching_secs = t.elapsed().as_secs_f64();
-    let added_edges = edges.to_vec();
+    // Move the edge list out of the scratch instead of copying the
+    // borrowed slice — these edges outlive the scratch's next use.
+    let added_edges = scratch.take_added();
     Ok(Built {
         graph: g,
         added_edges,

@@ -183,6 +183,17 @@ impl ConstructScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Moves the last [`wire_stubs_with`] call's added-edge list out of
+    /// the scratch, leaving an empty buffer behind (the next wiring call
+    /// re-reserves it to exact size).
+    ///
+    /// For callers that need to *keep* the edges past the scratch's next
+    /// use: a move here replaces the `to_vec()` copy they would
+    /// otherwise make from the borrowed [`WireOutcome`] slice.
+    pub fn take_added(&mut self) -> Vec<(NodeId, NodeId)> {
+        std::mem::take(&mut self.added)
+    }
 }
 
 /// Wires stubs on top of `g` (possibly non-empty), in place.

@@ -73,7 +73,7 @@
 //!
 //! Three engines produce **bitwise-identical** results for the same seed:
 //! the apply-rollback reference, the sequential [`RewireEngine`], and the
-//! speculative [`parallel::ParallelRewireEngine`] at every thread count.
+//! sharded [`parallel::ParallelRewireEngine`] at every thread count.
 //! The contract rests on three pillars:
 //!
 //! 1. **One RNG stream, drawn in attempt order.** Every candidate pick
@@ -97,8 +97,25 @@
 //! speculative RNG tail, so the coordinator re-draws subsequent picks
 //! from a per-pick checkpoint; a speculative evaluation is reused only
 //! when the replayed pick is identical *and* none of its four endpoints
-//! is in the stamped dirty-node set of already-committed swaps (see
-//! [`mod@parallel`] for the full argument).
+//! is in the stamped dirty-node set of already-committed swaps.
+//!
+//! **Why ownership sharding preserves the stream.** The sharded engine
+//! routes each pick to the one worker owning its degree class
+//! ([`shard::ShardPartitioner`]), so sharding decides only *which thread
+//! computes* a pick's integer `Δt` list — never which picks exist, in
+//! what order they are decided, or what they evaluate to. The picks
+//! themselves come from the single sequential RNG stream drawn by the
+//! coordinator (pillar 1); the owned evaluation is the same exact
+//! integer computation regardless of worker (pillar 2); and the commit
+//! scan walks the block strictly in draw order on the coordinator,
+//! fetching each pick's result from its owner's buffer and running the
+//! one float fold there (pillar 3). The ownership map is itself a pure
+//! function of the degree-bucket lengths — invariant under commits — so
+//! it cannot drift mid-run and introduce routing-dependent behavior.
+//! Cross-shard conflicts (a commit dirtying endpoints another shard's
+//! pick reads) are detected exactly as before and repaired by inline
+//! re-evaluation, which is equality with re-execution, not an
+//! approximation (see [`mod@parallel`] for the full argument).
 
 use sgr_graph::index::MultiplicityIndex;
 use sgr_graph::{Graph, NodeId};
@@ -108,6 +125,7 @@ use sgr_util::{FxHashMap, Xoshiro256pp};
 
 pub mod parallel;
 pub mod reference;
+pub mod shard;
 
 /// Statistics from a rewiring run.
 #[derive(Clone, Copy, Debug, Default)]

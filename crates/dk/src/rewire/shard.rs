@@ -1,0 +1,136 @@
+//! Ownership partitioning of the rewiring degree-class space.
+//!
+//! The sharded parallel engine routes every swap evaluation to exactly
+//! one worker, decided by the **degree class** of the pick's first
+//! endpoint (both first endpoints of a valid pick share that degree, so
+//! the route is well defined). [`ShardPartitioner`] computes the class →
+//! shard map once, at engine construction, and the map never changes
+//! during a run:
+//!
+//! * A pick lands in class `k` with probability proportional to the
+//!   number of candidate `(slot, side)` entries whose endpoint has
+//!   degree `k` — the length of the engine's degree bucket `k`.
+//! * Accepted swaps move entries **between** buckets one-out/one-in
+//!   (`commit_slot_swap`), so every bucket's *length* is invariant under
+//!   rewiring. The weights the partition balances are therefore exact
+//!   for the whole run, not a decaying estimate.
+//!
+//! Classes are assigned greedily, heaviest first, to the currently
+//! lightest shard (longest-processing-time rule): the heaviest shard
+//! carries at most `total/shards + max_weight`, which is near-balanced
+//! whenever no single degree class dominates the candidate set. The
+//! assignment is a pure function of `(weights, shards)` — same inputs,
+//! same map, on every host — so routing decisions are reproducible and
+//! two engines at the same thread count always agree on ownership.
+
+/// Deterministic degree-class → shard map; see the module docs.
+#[derive(Clone, Debug)]
+pub struct ShardPartitioner {
+    /// `assign[k]` — the shard that owns degree class `k`.
+    assign: Vec<u32>,
+    shards: u32,
+}
+
+impl ShardPartitioner {
+    /// Partitions classes `0..weights.len()` into `shards` shards
+    /// (`shards` is clamped to at least 1), balancing the total weight
+    /// per shard greedily: classes are placed heaviest first (ties by
+    /// lower class index) onto the lightest shard so far (ties by lower
+    /// shard id). Zero-weight classes are assigned too — the map is
+    /// total over the class space.
+    pub fn new(weights: &[u64], shards: usize) -> Self {
+        let shards = shards.max(1).min(u32::MAX as usize) as u32;
+        let mut assign = vec![0u32; weights.len()];
+        if shards > 1 {
+            let mut order: Vec<u32> = (0..weights.len() as u32).collect();
+            order.sort_unstable_by_key(|&k| (std::cmp::Reverse(weights[k as usize]), k));
+            let mut load = vec![0u64; shards as usize];
+            for &k in &order {
+                let mut best = 0usize;
+                for s in 1..load.len() {
+                    if load[s] < load[best] {
+                        best = s;
+                    }
+                }
+                assign[k as usize] = best as u32;
+                load[best] += weights[k as usize];
+            }
+        }
+        Self { assign, shards }
+    }
+
+    /// Number of shards the space is partitioned into (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Number of degree classes covered by the map.
+    pub fn num_classes(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The shard owning degree class `class`; always `< num_shards()`.
+    ///
+    /// # Panics
+    /// Panics if `class >= num_classes()`.
+    #[inline]
+    pub fn shard_of(&self, class: usize) -> u32 {
+        self.assign[class]
+    }
+
+    /// Total weight routed to each shard under `weights` (which must be
+    /// the slice the partition was built from to be meaningful).
+    pub fn loads(&self, weights: &[u64]) -> Vec<u64> {
+        let mut load = vec![0u64; self.shards as usize];
+        for (k, &w) in weights.iter().enumerate() {
+            load[self.assign[k] as usize] += w;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = ShardPartitioner::new(&[5, 0, 3, 9], 1);
+        assert_eq!(p.num_shards(), 1);
+        for k in 0..4 {
+            assert_eq!(p.shard_of(k), 0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let p = ShardPartitioner::new(&[1, 2], 0);
+        assert_eq!(p.num_shards(), 1);
+    }
+
+    #[test]
+    fn greedy_balance_bound_holds() {
+        let weights: Vec<u64> = (0..40).map(|k| (k as u64 * 13 + 7) % 101).collect();
+        for shards in [2usize, 3, 4, 8] {
+            let p = ShardPartitioner::new(&weights, shards);
+            let loads = p.loads(&weights);
+            let total: u64 = weights.iter().sum();
+            let max_w = *weights.iter().max().unwrap();
+            let bound = total / shards as u64 + max_w;
+            assert!(
+                loads.iter().all(|&l| l <= bound),
+                "loads {loads:?} exceed LPT bound {bound} at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let weights: Vec<u64> = (0..25).map(|k| (k as u64 * 31) % 17).collect();
+        let a = ShardPartitioner::new(&weights, 4);
+        let b = ShardPartitioner::new(&weights, 4);
+        for k in 0..weights.len() {
+            assert_eq!(a.shard_of(k), b.shard_of(k));
+        }
+    }
+}

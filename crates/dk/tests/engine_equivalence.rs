@@ -261,29 +261,27 @@ fn conflict_replay_is_correct_under_high_acceptance() {
 
 #[test]
 fn parallel_worker_evaluations_are_allocation_free_on_reject() {
-    // Same guarantee as the sequential engine, now for speculative
-    // evaluation: a commit-free block performs zero heap allocations
-    // once buffers are warm. Run with one worker so evaluation happens
-    // on the (armed) coordinator thread — the counting allocator is
-    // thread-local, and the single-worker path shares the exact
-    // evaluation code the scoped workers run.
+    // Same guarantee as the sequential engine, now for the parallel
+    // engine's evaluation kernel: a reject-only run performs zero heap
+    // allocations once buffers are warm. Run with one worker so
+    // evaluation happens on the (armed) coordinator thread — the
+    // counting allocator is thread-local, and the single-worker path
+    // runs the exact `evaluate_swap` kernel the scoped workers run,
+    // into the same kind of reused arena + pair buffers.
     let g = messy_graph(24);
     let props = LocalProperties::compute(&g);
     // The graph's own clustering as target: D = 0 is already the floor,
     // so `new_raw < dist_raw` can never hold — every attempt rejects.
     let target = props.clustering_by_degree.clone();
     let edges: Vec<_> = g.edges().collect();
-    let mut eng = ParallelRewireEngine::new(g, edges, &target, 1).with_block_size(256);
+    let mut eng = ParallelRewireEngine::new(g, edges, &target, 1);
     assert!(eng.distance() < 1e-9, "D = {}", eng.distance());
     let mut rng = Xoshiro256pp::seed_from_u64(37);
     // Warm-up: let result buffers reach their steady-state capacities.
     let warm = eng.run_attempts(4_096, &mut rng);
     let (allocs, stats) = count_allocs(|| eng.run_attempts(4_096, &mut rng));
     assert_eq!(warm.accepted + stats.accepted, 0, "fixed point accepted?");
-    assert_eq!(
-        allocs, 0,
-        "commit-free speculative blocks allocated {allocs} times"
-    );
+    assert_eq!(allocs, 0, "reject-only rewiring allocated {allocs} times");
     assert_eq!(stats.skipped, 4_096);
     eng.validate().unwrap();
 }

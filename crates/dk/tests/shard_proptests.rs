@@ -1,0 +1,132 @@
+//! Property-based tests of the rewiring shard partitioner.
+//!
+//! The sharded parallel engine routes every evaluation by degree class
+//! through [`ShardPartitioner`]; these properties are what the engine's
+//! correctness argument leans on:
+//!
+//! * **Totality / exclusivity** — every degree class is owned by exactly
+//!   one shard, and that shard id is in range, so every drawn pick has
+//!   exactly one worker that evaluated it.
+//! * **Coverage** — with enough weighted classes, no shard is left
+//!   without work (the greedy rule never starves a shard while another
+//!   holds two classes it could have taken).
+//! * **Stability** — the map is a pure function of `(weights, shards)`:
+//!   re-partitioning the same space yields identical routing, and
+//!   changing only the shard count never changes *which* classes exist,
+//!   so two engines at equal thread counts always agree on ownership.
+//! * **Balance** — loads respect the classic LPT bound
+//!   `max_load ≤ total/shards + max_weight`.
+
+use proptest::prelude::*;
+use sgr_dk::rewire::shard::ShardPartitioner;
+
+/// Weight vectors shaped like real degree-bucket length tables: mostly
+/// small classes, a few heavy ones, and embedded zeros (degrees with no
+/// rewirable endpoints).
+fn weights_strategy() -> impl Strategy<Value = Vec<u64>> {
+    collection::vec((0u64..10, 0u64..5_000), 1..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, w)| match kind {
+                0..=2 => 0,          // degree class with no candidates
+                3..=7 => 1 + w % 49, // typical small bucket
+                _ => 50 + w % 4_950, // occasional heavy bucket
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every class routes to exactly one in-range shard (the map is a
+    /// total function over the class space — zero-weight classes too).
+    #[test]
+    fn every_class_assigned_to_exactly_one_shard(
+        weights in weights_strategy(),
+        shards in 1usize..12,
+    ) {
+        let p = ShardPartitioner::new(&weights, shards);
+        prop_assert_eq!(p.num_shards(), shards);
+        prop_assert_eq!(p.num_classes(), weights.len());
+        for k in 0..weights.len() {
+            prop_assert!(p.shard_of(k) < shards as u32);
+        }
+    }
+
+    /// The shards jointly cover the full space: summing per-shard loads
+    /// reproduces the total weight exactly (nothing dropped, nothing
+    /// double-counted).
+    #[test]
+    fn shards_cover_the_full_space(
+        weights in weights_strategy(),
+        shards in 1usize..12,
+    ) {
+        let p = ShardPartitioner::new(&weights, shards);
+        let loads = p.loads(&weights);
+        prop_assert_eq!(loads.len(), shards);
+        prop_assert_eq!(loads.iter().sum::<u64>(), weights.iter().sum::<u64>());
+    }
+
+    /// With at least as many weighted classes as shards, the greedy rule
+    /// leaves no shard empty — each of the first `shards` placements
+    /// lands on a distinct (lightest, still-empty) shard.
+    #[test]
+    fn no_shard_starves_when_classes_suffice(
+        mut weights in weights_strategy(),
+        shards in 1usize..8,
+    ) {
+        // Force ≥ `shards` non-zero classes.
+        for k in 0..shards {
+            if weights.len() <= k {
+                weights.push(1 + k as u64);
+            } else if weights[k] == 0 {
+                weights[k] = 1 + k as u64;
+            }
+        }
+        let p = ShardPartitioner::new(&weights, shards);
+        let loads = p.loads(&weights);
+        prop_assert!(
+            loads.iter().all(|&l| l > 0),
+            "empty shard in {:?}", loads
+        );
+    }
+
+    /// Routing is stable under re-partitioning: rebuilding from the same
+    /// `(weights, shards)` gives the identical class → shard map, at
+    /// every thread count. This is what lets two engine instances (e.g.
+    /// a checkpoint writer and its resumer) agree on ownership without
+    /// ever exchanging the map.
+    #[test]
+    fn routing_is_stable_under_repartitioning(
+        weights in weights_strategy(),
+    ) {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let a = ShardPartitioner::new(&weights, shards);
+            let b = ShardPartitioner::new(&weights, shards);
+            for k in 0..weights.len() {
+                prop_assert_eq!(
+                    a.shard_of(k),
+                    b.shard_of(k),
+                    "routing unstable at {} shards, class {}", shards, k
+                );
+            }
+        }
+    }
+
+    /// Greedy LPT balance bound: no shard carries more than the perfect
+    /// share plus one maximal class.
+    #[test]
+    fn lpt_balance_bound_holds(
+        weights in weights_strategy(),
+        shards in 1usize..12,
+    ) {
+        let p = ShardPartitioner::new(&weights, shards);
+        let total: u64 = weights.iter().sum();
+        let max_w = weights.iter().copied().max().unwrap_or(0);
+        let bound = total / shards as u64 + max_w;
+        for (s, &load) in p.loads(&weights).iter().enumerate() {
+            prop_assert!(
+                load <= bound,
+                "shard {} load {} exceeds LPT bound {}", s, load, bound
+            );
+        }
+    }
+}

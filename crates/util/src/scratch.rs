@@ -149,6 +149,12 @@ impl DirtyStampSet {
         self.epoch != 0 && self.stamp[key as usize] == self.epoch
     }
 
+    /// Whether any of `keys` is currently marked.
+    #[inline]
+    pub fn contains_any(&self, keys: &[u32]) -> bool {
+        keys.iter().any(|&k| self.contains(k))
+    }
+
     /// Keys marked since the last [`clear`](Self::clear), in first-mark
     /// order.
     #[inline]
