@@ -3,38 +3,56 @@
 //! so the CSR layer has a perf trajectory to defend (next to
 //! `BENCH_rewire.json` for the rewiring engine).
 //!
-//! Kernels (single-threaded so the numbers measure the memory layout, not
-//! the scheduler):
+//! Kernels (the per-backend rows run the single-threaded **reference**
+//! BFS kernel so the numbers measure the memory layout, not the
+//! scheduler, and stay comparable across committed baselines):
 //! * `bfs_sweep` — pivot-sampled shortest-path properties (pure BFS);
+//!   additionally measured on the direction-optimizing multi-source
+//!   engine (`sgr_props::bfs`) at 1 thread and at `engine_threads`
+//!   workers — the interactive-property-serving configuration the CI
+//!   gate defends (engine vs `csr_sorted` baseline);
 //! * `betweenness` — pivot-sampled Brandes (BFS + dependency pass);
 //! * `triangles` — multiplicity-index triangle counting (index-bound, so
-//!   the backends are expected to tie; reported for completeness).
+//!   the backends are expected to tie; reported for completeness);
+//! * `distance_profile` — the dissimilarity profile (per-source
+//!   distance distributions), reference vs engine vs parallel engine.
 //!
 //! Backends: `graph` (adjacency lists), `csr` (order-preserving freeze —
 //! results asserted **bitwise identical** to `graph`), `csr_sorted`
-//! (per-node sorted arena; same distances/counts, float order may differ).
-//! The betweenness kernel is additionally measured on `csr_relabeled`
+//! (per-node sorted arena; level sets — and, with the level-set-determined
+//! far-node rule, diameters — match exactly, so the sweep is asserted
+//! bitwise across all three). Engine results are asserted bitwise
+//! identical to the reference kernel at both thread counts. The
+//! betweenness kernel is additionally measured on `csr_relabeled`
 //! (degree-descending [`CsrGraph::freeze_relabeled`]) to quantify what
 //! hub-first node packing buys the σ/δ-bound Brandes inner loop.
 //!
-//! Usage: `bench_props [nodes] [reps] [out.json]`
+//! Like `BENCH_rewire.json`, the output carries `host_cpus` and a
+//! `scaling_valid` flag: multi-threaded engine rows produced on a host
+//! with fewer cores than `engine_threads` are marked invalid so they
+//! cannot be mistaken for real scaling numbers (CI regenerates the JSON
+//! on its 4-vCPU runner).
+//!
+//! Usage: `bench_props [nodes] [reps] [out.json] [engine_threads]`
 //! (defaults: 1_000_000 nodes — the paper's YouTube scale, where the
 //! layout difference is at its most production-relevant — 3 reps with
-//! best-of reported, `BENCH_props.json`).
+//! best-of reported, `BENCH_props.json`, 4 engine workers — the CI
+//! runner's vCPU count).
 
 use sgr_graph::{CsrGraph, Graph};
-use sgr_props::{betweenness, paths, triangles, PropsConfig};
+use sgr_props::{betweenness, dissimilarity, paths, triangles, BfsEngine, PropsConfig};
 use sgr_util::Xoshiro256pp;
 use std::time::Instant;
 
 const GRAPH_SEED: u64 = 22;
 
-fn props_cfg(pivots: usize) -> PropsConfig {
+fn props_cfg(pivots: usize, threads: usize, bfs: BfsEngine) -> PropsConfig {
     PropsConfig {
         exact_threshold: 0, // always pivot-sample at bench sizes
         num_pivots: pivots,
-        threads: 1,
+        threads,
         seed: 0x5eed,
+        bfs,
     }
 }
 
@@ -59,6 +77,10 @@ struct Kernel {
 
 const BACKENDS: [&str; 3] = ["graph", "csr", "csr_sorted"];
 
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args
@@ -70,6 +92,16 @@ fn main() {
         .map(|a| a.parse().expect("reps must be an integer"))
         .unwrap_or(3);
     let out = args.next().unwrap_or_else(|| "BENCH_props.json".into());
+    let engine_threads: usize = args
+        .next()
+        .map(|a| a.parse().expect("engine_threads must be an integer"))
+        .unwrap_or(4);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Same honesty flag as BENCH_rewire.json: multi-threaded rows timed
+    // on a host with fewer cores than workers are not scaling numbers.
+    let scaling_valid = host_cpus >= engine_threads;
 
     // Fixed workload: a clustered, heavy-tailed social-ish graph at the
     // low average degree of the paper's datasets (m = 2 → k̄ ≈ 4; Anybeat
@@ -89,17 +121,21 @@ fn main() {
     let csr = CsrGraph::freeze(&g);
     let sorted = CsrGraph::freeze_sorted(&g);
     eprintln!(
-        "bench_props: n={} m={} reps={} (graph seed {GRAPH_SEED})",
+        "bench_props: n={} m={} reps={} engine_threads={} host_cpus={} (graph seed {GRAPH_SEED})",
         g.num_nodes(),
         g.num_edges(),
-        reps
+        reps,
+        engine_threads,
+        host_cpus,
     );
 
     let mut kernels: Vec<Kernel> = Vec::new();
 
-    // --- BFS sweep (shortest-path properties, 128 pivots).
-    {
-        let cfg = props_cfg(128);
+    // --- BFS sweep (shortest-path properties, 128 pivots): reference
+    // kernel per backend, then the direction-optimizing multi-source
+    // engine on the sorted arena at 1 thread and at engine_threads.
+    let bfs_sweep_engine = {
+        let cfg = props_cfg(128, 1, BfsEngine::Reference);
         let (tg, rg) = time(reps, || paths::shortest_path_properties(&g, &cfg));
         let (tc, rc) = time(reps, || paths::shortest_path_properties(&csr, &cfg));
         let (ts, rs) = time(reps, || paths::shortest_path_properties(&sorted, &cfg));
@@ -108,20 +144,37 @@ fn main() {
             "bfs_sweep diverged between graph and csr"
         );
         assert_eq!(rg.diameter, rc.diameter);
-        // The sorted arena visits nodes in a different order, so the
-        // double-sweep diameter *lower bound* may land on a different
-        // (equally valid) value; allow ±1.
-        assert!(
-            (rg.diameter as i64 - rs.diameter as i64).abs() <= 1,
-            "sorted arena diameter bound drifted: {} vs {}",
-            rg.diameter,
-            rs.diameter
+        // Histograms are level-set sizes and the far-node rule is
+        // level-set determined, so even the sorted arena (different
+        // traversal order) must agree bitwise.
+        assert_eq!(
+            rg.length_dist, rs.length_dist,
+            "bfs_sweep diverged on the sorted arena"
         );
+        assert_eq!(rg.diameter, rs.diameter);
+
+        let ecfg = props_cfg(128, 1, BfsEngine::DirectionOptimizing);
+        let (te, re) = time(reps, || paths::shortest_path_properties(&sorted, &ecfg));
+        let mcfg = props_cfg(128, engine_threads, BfsEngine::DirectionOptimizing);
+        let (tm, rm) = time(reps, || paths::shortest_path_properties(&sorted, &mcfg));
+        assert_eq!(
+            bits(&re.length_dist),
+            bits(&rs.length_dist),
+            "engine sweep diverged from the reference kernel"
+        );
+        assert_eq!(re.diameter, rs.diameter);
+        assert_eq!(
+            bits(&rm.length_dist),
+            bits(&re.length_dist),
+            "parallel engine sweep diverged from single-threaded engine"
+        );
+        assert_eq!(rm.diameter, re.diameter);
         kernels.push(Kernel {
             name: "bfs_sweep",
             secs: vec![tg, tc, ts],
         });
-    }
+        (te, tm, ts)
+    };
 
     // --- Betweenness (Brandes, 16 pivots — the heavy constant). Also
     // measured on the degree-descending relabeled snapshot: Brandes'
@@ -132,7 +185,7 @@ fn main() {
     // its pivot sample differs — a valid estimate, not bitwise-comparable
     // (only its timing is reported).
     let betweenness_relabeled_secs = {
-        let cfg = props_cfg(16);
+        let cfg = props_cfg(16, 1, BfsEngine::Reference);
         let (tg, rg) = time(reps, || betweenness::betweenness_by_degree(&g, &cfg));
         let (tc, rc) = time(reps, || betweenness::betweenness_by_degree(&csr, &cfg));
         let (ts, _) = time(reps, || betweenness::betweenness_by_degree(&sorted, &cfg));
@@ -140,7 +193,6 @@ fn main() {
         let (tr, rr) = time(reps, || {
             betweenness::betweenness_by_degree(&relabeled.csr, &cfg)
         });
-        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(
             bits(&rg),
             bits(&rc),
@@ -172,6 +224,32 @@ fn main() {
         });
     }
 
+    // --- Distance profile (dissimilarity per-source distributions, 128
+    // pivots): reference vs engine vs parallel engine, all reading the
+    // sorted arena. Outputs are distance-determined, so all three must
+    // agree bitwise.
+    let distance_profile_secs = {
+        let rcfg = props_cfg(128, 1, BfsEngine::Reference);
+        let (tr, pr) = time(reps, || dissimilarity::distance_profile(&sorted, &rcfg));
+        let ecfg = props_cfg(128, 1, BfsEngine::DirectionOptimizing);
+        let (te, pe) = time(reps, || dissimilarity::distance_profile(&sorted, &ecfg));
+        let mcfg = props_cfg(128, engine_threads, BfsEngine::DirectionOptimizing);
+        let (tm, pm) = time(reps, || dissimilarity::distance_profile(&sorted, &mcfg));
+        assert_eq!(
+            bits(&pe.mu),
+            bits(&pr.mu),
+            "engine distance profile diverged from reference"
+        );
+        assert_eq!(pe.nnd.to_bits(), pr.nnd.to_bits());
+        assert_eq!(
+            bits(&pm.mu),
+            bits(&pe.mu),
+            "parallel engine distance profile diverged"
+        );
+        assert_eq!(pm.nnd.to_bits(), pe.nnd.to_bits());
+        (tr, te, tm)
+    };
+
     let mut entries: Vec<String> = Vec::new();
     for k in &kernels {
         let base = k.secs[0];
@@ -184,9 +262,36 @@ fn main() {
                 b, k.secs[i], speedups[i]
             );
         }
-        // The relabeled snapshot is measured for betweenness only (the
-        // kernel ROADMAP flags as layout-bound); see the kernel comment.
-        let relabeled = if k.name == "betweenness" {
+        // Kernel-specific extra rows: the engine configurations for the
+        // sweep, the relabeled snapshot for betweenness.
+        let extra = if k.name == "bfs_sweep" {
+            let (te, tm, ts) = bfs_sweep_engine;
+            eprintln!(
+                "    {:>10}: {:>8.3}s  ({:.2}x vs csr_sorted)",
+                "engine",
+                te,
+                ts / te
+            );
+            eprintln!(
+                "    {:>10}: {:>8.3}s  ({:.2}x vs csr_sorted, {} threads)",
+                "engine_mt",
+                tm,
+                ts / tm,
+                engine_threads
+            );
+            format!(
+                concat!(
+                    ",\n      \"engine_seconds\": {:.6},\n",
+                    "      \"engine_mt_seconds\": {:.6},\n",
+                    "      \"engine_speedup_vs_csr_sorted\": {:.3},\n",
+                    "      \"engine_mt_speedup_vs_csr_sorted\": {:.3}"
+                ),
+                te,
+                tm,
+                ts / te,
+                ts / tm
+            )
+        } else if k.name == "betweenness" {
             let tr = betweenness_relabeled_secs;
             eprintln!(
                 "    {:>10}: {:>8.3}s  ({:.2}x vs graph)",
@@ -216,7 +321,41 @@ fn main() {
                 "      \"best_csr_speedup\": {:.3}{}\n",
                 "    }}"
             ),
-            k.name, k.secs[0], k.secs[1], k.secs[2], speedups[1], speedups[2], best_csr, relabeled,
+            k.name, k.secs[0], k.secs[1], k.secs[2], speedups[1], speedups[2], best_csr, extra,
+        ));
+    }
+    {
+        let (tr, te, tm) = distance_profile_secs;
+        eprintln!("  distance_profile:");
+        eprintln!("    {:>10}: {:>8.3}s", "reference", tr);
+        eprintln!(
+            "    {:>10}: {:>8.3}s  ({:.2}x vs reference)",
+            "engine",
+            te,
+            tr / te
+        );
+        eprintln!(
+            "    {:>10}: {:>8.3}s  ({:.2}x vs reference, {} threads)",
+            "engine_mt",
+            tm,
+            tr / tm,
+            engine_threads
+        );
+        entries.push(format!(
+            concat!(
+                "    \"distance_profile\": {{\n",
+                "      \"reference_seconds\": {:.6},\n",
+                "      \"engine_seconds\": {:.6},\n",
+                "      \"engine_mt_seconds\": {:.6},\n",
+                "      \"engine_speedup\": {:.3},\n",
+                "      \"engine_mt_speedup\": {:.3}\n",
+                "    }}"
+            ),
+            tr,
+            te,
+            tm,
+            tr / te,
+            tr / tm
         ));
     }
 
@@ -227,6 +366,9 @@ fn main() {
             "  \"graph\": {{\"generator\": \"holme_kim\", \"nodes\": {}, \"edges\": {}, ",
             "\"seed\": {}}},\n",
             "  \"reps\": {},\n",
+            "  \"host_cpus\": {},\n",
+            "  \"engine_threads\": {},\n",
+            "  \"scaling_valid\": {},\n",
             "  \"backends\": [\"graph\", \"csr\", \"csr_sorted\"],\n",
             "  \"kernels\": {{\n{}\n  }}\n",
             "}}\n"
@@ -235,6 +377,9 @@ fn main() {
         g.num_edges(),
         GRAPH_SEED,
         reps,
+        host_cpus,
+        engine_threads,
+        scaling_valid,
         entries.join(",\n"),
     );
     std::fs::write(&out, json).expect("writing benchmark JSON");

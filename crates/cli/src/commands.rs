@@ -90,11 +90,18 @@ fn write_restored(r: &Restored, out: &str, verb: &str) -> Result<(), CliError> {
 }
 
 fn props_cfg(opts: &Opts) -> Result<PropsConfig, String> {
+    let bfs = match opts.opt("bfs-engine") {
+        None => sgr_props::BfsEngine::default(),
+        Some(name) => sgr_props::BfsEngine::from_name(name).ok_or_else(|| {
+            format!("unknown --bfs-engine '{name}' (expected 'engine' or 'reference')")
+        })?,
+    };
     Ok(PropsConfig {
         exact_threshold: opts.get_or("exact-threshold", 4_000usize)?,
         num_pivots: opts.get_or("pivots", 512usize)?,
         threads: opts.get_or("threads", 0usize)?,
         seed: opts.get_or("seed", 0x5eedu64)?,
+        bfs,
     })
 }
 
@@ -303,11 +310,19 @@ pub fn resume(argv: &[String]) -> i32 {
 /// `sgr props`.
 pub fn props(argv: &[String]) -> i32 {
     const USAGE: &str =
-        "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
+        "sgr props --graph FILE [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N] \
+[--bfs-engine engine|reference]";
     run(
         argv,
         USAGE,
-        &["graph", "exact-threshold", "pivots", "threads", "seed"],
+        &[
+            "graph",
+            "exact-threshold",
+            "pivots",
+            "threads",
+            "seed",
+            "bfs-engine",
+        ],
         |o| {
             let g = load(o.req("graph")?)?.freeze();
             let p = StructuralProperties::compute(&g, &props_cfg(o)?);
@@ -333,7 +348,7 @@ pub fn props(argv: &[String]) -> i32 {
 /// `sgr compare`.
 pub fn compare(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr compare --original FILE --generated FILE
-  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
+  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N] [--bfs-engine engine|reference]";
     run(
         argv,
         USAGE,
@@ -344,6 +359,7 @@ pub fn compare(argv: &[String]) -> i32 {
             "pivots",
             "threads",
             "seed",
+            "bfs-engine",
         ],
         |o| {
             let orig = load(o.req("original")?)?.freeze();
@@ -367,7 +383,7 @@ pub fn compare(argv: &[String]) -> i32 {
 /// `sgr dissim`.
 pub fn dissim(argv: &[String]) -> i32 {
     const USAGE: &str = "sgr dissim --original FILE --generated FILE
-  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N]";
+  [--exact-threshold N] [--pivots N] [--threads N=0] [--seed N] [--bfs-engine engine|reference]";
     run(
         argv,
         USAGE,
@@ -378,6 +394,7 @@ pub fn dissim(argv: &[String]) -> i32 {
             "pivots",
             "threads",
             "seed",
+            "bfs-engine",
         ],
         |o| {
             let orig = load(o.req("original")?)?.freeze();

@@ -6,7 +6,7 @@
 //! operations live here.
 
 use crate::view::GraphView;
-use crate::{Graph, NodeId};
+use crate::{CsrGraph, Graph, NodeId};
 
 /// Partition of nodes into connected components.
 #[derive(Clone, Debug)]
@@ -98,6 +98,78 @@ pub fn largest_component<G: GraphView>(g: &G) -> (Graph, Vec<NodeId>) {
     (out, mapping)
 }
 
+/// Extracts the largest connected component **directly into a
+/// [`CsrGraph`] snapshot** with dense node ids, skipping the intermediate
+/// per-node-`Vec` [`Graph`] that [`largest_component`] builds (and that
+/// BFS-heavy callers immediately re-freeze). Degrees are already known
+/// from the component scan, so the offset array is exact and the neighbor
+/// arena is filled in one pass over the kept nodes' slices.
+///
+/// Returns the snapshot and `mapping[new_id] = old_id`. Unlike
+/// [`largest_component`] — which rebuilds adjacency by re-adding edges
+/// and thereby reorders each node's neighbor list — this preserves the
+/// source view's **per-node neighbor order** under the (monotone) id
+/// remapping: `neighbors(new)` is exactly `g.neighbors(old)` with each
+/// entry relabeled. Identical views therefore yield identical snapshots.
+pub fn largest_component_csr<G: GraphView>(g: &G) -> (CsrGraph, Vec<NodeId>) {
+    if g.num_nodes() == 0 {
+        return (CsrGraph::default(), Vec::new());
+    }
+    largest_component_csr_with(g, &connected_components(g))
+}
+
+/// As [`largest_component_csr`], but reusing an already-computed
+/// component labeling of `g` (callers that label for other reasons —
+/// size accounting, engine cross-checks — avoid the second scan).
+///
+/// # Panics
+/// Panics if `comps` has no components (empty labeling of a non-empty
+/// graph) or was computed from a different graph.
+pub fn largest_component_csr_with<G: GraphView>(
+    g: &G,
+    comps: &Components,
+) -> (CsrGraph, Vec<NodeId>) {
+    assert_eq!(comps.label.len(), g.num_nodes(), "labeling/graph mismatch");
+    if g.num_nodes() == 0 {
+        return (CsrGraph::default(), Vec::new());
+    }
+    let keep = comps.largest() as u32;
+    let mut old_to_new = vec![u32::MAX; g.num_nodes()];
+    let mut mapping: Vec<NodeId> = Vec::with_capacity(comps.sizes[keep as usize]);
+    for u in g.nodes() {
+        if comps.label[u as usize] == keep {
+            old_to_new[u as usize] = mapping.len() as u32;
+            mapping.push(u);
+        }
+    }
+    // Degrees are known, so offsets are exact up front; a component is
+    // neighbor-closed, so every slice entry remaps without a membership
+    // check.
+    let total: usize = mapping.iter().map(|&old| g.degree(old)).sum();
+    assert!(
+        u32::try_from(total).is_ok(),
+        "component too large for u32 CSR offsets ({total} neighbor entries)"
+    );
+    let mut offsets = Vec::with_capacity(mapping.len() + 1);
+    offsets.push(0u32);
+    let mut neighbors: Vec<NodeId> = Vec::with_capacity(total);
+    let mut sorted = true;
+    for &old in &mapping {
+        let start = neighbors.len();
+        neighbors.extend(g.neighbors(old).iter().map(|&v| {
+            debug_assert_ne!(old_to_new[v as usize], u32::MAX, "cross-component edge");
+            old_to_new[v as usize]
+        }));
+        sorted &= neighbors[start..].windows(2).all(|w| w[0] <= w[1]);
+        offsets.push(neighbors.len() as u32);
+    }
+    // Both endpoints of every kept edge are inside the component, so the
+    // arena holds exactly two slots per edge (a self-loop is its node's
+    // two slots), and `total` is even.
+    let csr = CsrGraph::from_raw_parts(offsets, neighbors, total / 2, sorted);
+    (csr, mapping)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +237,61 @@ mod tests {
         let (lcc, mapping) = largest_component(&g);
         assert_eq!(lcc.num_nodes(), 1);
         assert_eq!(mapping.len(), 1);
+    }
+
+    #[test]
+    fn csr_extraction_matches_graph_extraction() {
+        let mut g = Graph::from_edges(9, &[(0, 1), (1, 2), (2, 0), (2, 3), (0, 1), (5, 6), (7, 8)]);
+        g.add_edge(3, 3);
+        let (lcc_graph, map_graph) = largest_component(&g);
+        let (lcc_csr, map_csr) = largest_component_csr(&g);
+        assert_eq!(map_csr, map_graph);
+        assert_eq!(lcc_csr.num_nodes(), lcc_graph.num_nodes());
+        assert_eq!(lcc_csr.num_edges(), lcc_graph.num_edges());
+        assert_eq!(lcc_csr.degree_vector(), lcc_graph.degree_vector());
+        // Same edge multiset (neighbor order may differ: the Graph path
+        // rebuilds adjacency via add_edge, the CSR path remaps slices).
+        for u in lcc_graph.nodes() {
+            let mut a = lcc_csr.neighbors(u).to_vec();
+            let mut b = lcc_graph.neighbors(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighbor multiset differs at {u}");
+        }
+    }
+
+    #[test]
+    fn csr_extraction_preserves_source_neighbor_order() {
+        // Node 2's list in g is [1, 3, 0] by insertion; the kept ids are
+        // the component itself so the remap is the identity here.
+        let g = Graph::from_edges(6, &[(1, 2), (2, 3), (0, 2), (4, 5)]);
+        let (lcc, mapping) = largest_component_csr(&g);
+        assert_eq!(mapping, vec![0, 1, 2, 3]);
+        assert_eq!(lcc.neighbors(2), &[1, 3, 0]);
+        // A sorted source view stays sorted through the monotone remap.
+        let sorted_src = CsrGraph::freeze_sorted(&g);
+        let (lcc_sorted, _) = largest_component_csr(&sorted_src);
+        assert!(lcc_sorted.is_sorted());
+        assert_eq!(lcc_sorted.neighbors(2), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn csr_extraction_with_shared_labeling_and_edge_cases() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = connected_components(&g);
+        let (a, ma) = largest_component_csr(&g);
+        let (b, mb) = largest_component_csr_with(&g, &comps);
+        assert_eq!(ma, mb);
+        assert_eq!(a.neighbors(1), b.neighbors(1));
+
+        let (empty, map) = largest_component_csr(&Graph::with_nodes(0));
+        assert_eq!(empty.num_nodes(), 0);
+        assert!(map.is_empty());
+
+        let (iso, map) = largest_component_csr(&Graph::with_nodes(4));
+        assert_eq!(iso.num_nodes(), 1);
+        assert_eq!(iso.num_edges(), 0);
+        assert_eq!(map.len(), 1);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! without allocating or reordering (results follow each backend's
 //! neighbor order, which [`sgr_graph::CsrGraph::freeze`] preserves).
 
+use crate::bfs;
 use crate::PropsConfig;
 use sgr_graph::{GraphView, NodeId};
-use sgr_util::Xoshiro256pp;
 
 /// Per-node betweenness centrality.
 pub fn betweenness<G: GraphView + Sync>(g: &G, cfg: &PropsConfig) -> Vec<f64> {
@@ -24,37 +24,20 @@ pub fn betweenness<G: GraphView + Sync>(g: &G, cfg: &PropsConfig) -> Vec<f64> {
     if n < 3 {
         return vec![0.0; n];
     }
-    let exact = n <= cfg.exact_threshold;
-    let sources: Vec<NodeId> = if exact {
-        (0..n as NodeId).collect()
-    } else {
-        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0xb7);
-        sgr_util::sampling::sample_indices(n, cfg.num_pivots.min(n), &mut rng)
-            .into_iter()
-            .map(|i| i as NodeId)
-            .collect()
-    };
+    // Pivot selection and source-chunk dispatch are the shared BFS-phase
+    // setup from the traversal engine (the historical `seed ^ 0xb7` pivot
+    // stream is preserved); only the per-chunk kernel — Brandes
+    // dependency accumulation — is betweenness-specific. Partial sums
+    // come back in chunk order, so the merged result is thread-count
+    // invariant up to float association, exactly as before.
+    let (sources, exact) = bfs::pivot_sources(n, cfg, 0xb7);
     let scale = if exact {
         1.0
     } else {
         n as f64 / sources.len() as f64
     };
-    let threads = cfg.effective_threads().max(1).min(sources.len().max(1));
-    let partials: Vec<Vec<f64>> = if threads <= 1 || sources.len() < 4 {
-        vec![accumulate(g, &sources)]
-    } else {
-        let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(move || accumulate(g, chunk)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("betweenness worker panicked"))
-                .collect()
-        })
-    };
+    let partials: Vec<Vec<f64>> =
+        bfs::run_source_chunks(g, &sources, cfg.effective_threads(), accumulate);
     let mut b = vec![0.0f64; n];
     for part in partials {
         for (i, &x) in part.iter().enumerate() {

@@ -22,10 +22,10 @@
 //!   discriminates graph complements — irrelevant for restoration
 //!   quality; the omission is the standard "first two terms" variant).
 
+use crate::bfs::{self, BfsEngine, BfsScratch, BATCH_WIDTH};
 use crate::PropsConfig;
-use sgr_graph::components::largest_component;
-use sgr_graph::{CsrGraph, GraphView, NodeId};
-use sgr_util::Xoshiro256pp;
+use sgr_graph::components::{connected_components, largest_component_csr_with};
+use sgr_graph::{GraphView, NodeId};
 
 /// Per-node distance distributions, averaged profile, and dispersion.
 #[derive(Clone, Debug)]
@@ -41,11 +41,20 @@ pub struct DistanceProfile {
 /// Computes the distance profile of (the largest component of) `g`.
 /// Above `cfg.exact_threshold` nodes, `cfg.num_pivots` sampled sources
 /// are used — an unbiased estimator of both `μ` and the dispersion's
-/// node average. The component is frozen once into a CSR snapshot and
-/// every BFS reads the flat arena (parallel edges and self-loops never
-/// change a distance, so no dedup copy is needed).
-pub fn distance_profile<G: GraphView>(g: &G, cfg: &PropsConfig) -> DistanceProfile {
-    let (lcc, _) = largest_component(g);
+/// node average. The component is extracted straight into a CSR snapshot
+/// ([`largest_component_csr_with`]) and every BFS reads the flat arena
+/// (parallel edges and self-loops never change a distance, so no dedup
+/// copy is needed). Sources run in multi-source batches on the shared
+/// [`crate::bfs`] engine across `cfg.effective_threads()` source chunks;
+/// per-source distributions and the `μ`/`NND` reduction are functions of
+/// distances alone, so results are bitwise-identical at every thread
+/// count and under [`PropsConfig::bfs`] engine choice.
+pub fn distance_profile<G: GraphView + Sync>(g: &G, cfg: &PropsConfig) -> DistanceProfile {
+    let comps = match cfg.bfs {
+        BfsEngine::DirectionOptimizing => bfs::components(g, &mut BfsScratch::new()),
+        BfsEngine::Reference => connected_components(g),
+    };
+    let (lcc, _) = largest_component_csr_with(g, &comps);
     let n = lcc.num_nodes();
     if n < 2 {
         return DistanceProfile {
@@ -53,53 +62,20 @@ pub fn distance_profile<G: GraphView>(g: &G, cfg: &PropsConfig) -> DistanceProfi
             nnd: 0.0,
         };
     }
-    let lcc = CsrGraph::freeze(&lcc);
-    let sources: Vec<NodeId> = if n <= cfg.exact_threshold {
-        (0..n as NodeId).collect()
-    } else {
-        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed ^ 0xd155);
-        sgr_util::sampling::sample_indices(n, cfg.num_pivots.min(n), &mut rng)
-            .into_iter()
-            .map(|i| i as NodeId)
-            .collect()
-    };
-    // First pass: per-source histograms, tracking the global diameter.
-    let mut hists: Vec<Vec<f64>> = Vec::with_capacity(sources.len());
-    let mut dist = vec![u32::MAX; n];
-    let mut queue: Vec<NodeId> = Vec::with_capacity(n);
+    let (sources, _) = bfs::pivot_sources(n, cfg, 0xd155);
+    // Per-source histograms, computed per source chunk and concatenated
+    // in chunk order — i.e. in source order, the same sequence the
+    // single-threaded loop produced.
+    let mut hists: Vec<Vec<f64>> =
+        bfs::run_source_chunks(&lcc, &sources, cfg.effective_threads(), |lcc, chunk| {
+            chunk_profiles(lcc, chunk, cfg.bfs)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let mut d_max = 1usize;
-    for &s in &sources {
-        for d in dist.iter_mut() {
-            *d = u32::MAX;
-        }
-        queue.clear();
-        dist[s as usize] = 0;
-        queue.push(s);
-        let mut head = 0;
-        let mut hist: Vec<f64> = Vec::new();
-        while head < queue.len() {
-            let u = queue[head];
-            head += 1;
-            let du = dist[u as usize] as usize;
-            if du > 0 {
-                if hist.len() <= du {
-                    hist.resize(du + 1, 0.0);
-                }
-                hist[du] += 1.0;
-            }
-            for &v in lcc.neighbors(u) {
-                if dist[v as usize] == u32::MAX {
-                    dist[v as usize] = dist[u as usize] + 1;
-                    queue.push(v);
-                }
-            }
-        }
-        d_max = d_max.max(hist.len().saturating_sub(1));
-        // Normalize over the n-1 other nodes (all reachable in the LCC).
-        for h in &mut hist {
-            *h /= (n - 1) as f64;
-        }
-        hists.push(hist);
+    for h in &hists {
+        d_max = d_max.max(h.len().saturating_sub(1));
     }
     // Align lengths: buckets 1..=d_max (+ trailing unreachable bucket,
     // always 0 inside the LCC but kept so graphs of different diameters
@@ -128,6 +104,42 @@ pub fn distance_profile<G: GraphView>(g: &G, cfg: &PropsConfig) -> DistanceProfi
     DistanceProfile { mu, nnd }
 }
 
+/// One worker's share of the profile pass: the normalized distance
+/// distribution of every source in `chunk`, in chunk order. Counts are
+/// level-set sizes (exact integers in `f64`), so the engine branch and
+/// the reference branch produce bitwise-identical distributions.
+fn chunk_profiles<G: GraphView>(g: &G, chunk: &[NodeId], engine: BfsEngine) -> Vec<Vec<f64>> {
+    let n = g.num_nodes();
+    // Normalize over the n-1 other nodes (all reachable in the LCC).
+    let norm = (n - 1) as f64;
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(chunk.len());
+    match engine {
+        BfsEngine::DirectionOptimizing => {
+            let mut scratch = BfsScratch::new();
+            for batch in chunk.chunks(BATCH_WIDTH) {
+                scratch.batch(g, batch);
+                for i in 0..batch.len() {
+                    let ecc = scratch.batch_depth(i);
+                    let mut h = vec![0.0f64; ecc + 1];
+                    for (l, x) in h.iter_mut().enumerate().skip(1) {
+                        *x = scratch.batch_count(l, i) as f64 / norm;
+                    }
+                    out.push(h);
+                }
+            }
+        }
+        BfsEngine::Reference => {
+            let mut visited = vec![0u64; n.div_ceil(64)];
+            let mut queue: Vec<NodeId> = Vec::with_capacity(n);
+            for &s in chunk {
+                let (h, _) = bfs::reference::bfs_histogram(g, s, &mut visited, &mut queue);
+                out.push(h.iter().map(|&c| c as f64 / norm).collect());
+            }
+        }
+    }
+    out
+}
+
 /// Jensen–Shannon divergence of two discrete distributions (natural log),
 /// zero-padding the shorter.
 pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
@@ -153,7 +165,11 @@ pub fn jensen_shannon(p: &[f64], q: &[f64]) -> f64 {
 /// distance profiles and dispersion. The two sides may use different
 /// [`GraphView`] backends (e.g. a mutable original against a frozen
 /// restoration).
-pub fn dissimilarity<G: GraphView, H: GraphView>(g: &G, h: &H, cfg: &PropsConfig) -> f64 {
+pub fn dissimilarity<G: GraphView + Sync, H: GraphView + Sync>(
+    g: &G,
+    h: &H,
+    cfg: &PropsConfig,
+) -> f64 {
     let pg = distance_profile(g, cfg);
     let ph = distance_profile(h, cfg);
     let first = (jensen_shannon(&pg.mu, &ph.mu) / 2.0f64.ln()).sqrt();
@@ -165,6 +181,7 @@ pub fn dissimilarity<G: GraphView, H: GraphView>(g: &G, h: &H, cfg: &PropsConfig
 mod tests {
     use super::*;
     use sgr_gen::classic::{complete, cycle, path, star};
+    use sgr_util::Xoshiro256pp;
 
     fn cfg() -> PropsConfig {
         PropsConfig::default()
@@ -221,6 +238,35 @@ mod tests {
         let d2 = dissimilarity(&b, &a, &cfg());
         assert!((d1 - d2).abs() < 1e-12);
         assert!((0.0..=1.0).contains(&d1), "D = {d1}");
+    }
+
+    #[test]
+    fn engines_and_thread_counts_agree_bitwise() {
+        let g = sgr_gen::holme_kim(800, 3, 0.4, &mut Xoshiro256pp::seed_from_u64(11)).unwrap();
+        let base = PropsConfig {
+            exact_threshold: 0,
+            num_pivots: 64,
+            threads: 1,
+            ..PropsConfig::default()
+        };
+        let want = distance_profile(&g, &base);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for cfg in [
+            PropsConfig { threads: 4, ..base },
+            PropsConfig {
+                bfs: BfsEngine::Reference,
+                ..base
+            },
+            PropsConfig {
+                bfs: BfsEngine::Reference,
+                threads: 4,
+                ..base
+            },
+        ] {
+            let got = distance_profile(&g, &cfg);
+            assert_eq!(got.nnd.to_bits(), want.nnd.to_bits());
+            assert_eq!(bits(&got.mu), bits(&want.mu));
+        }
     }
 
     #[test]

@@ -29,13 +29,37 @@
 //! Every kernel is generic over [`sgr_graph::GraphView`], so callers can
 //! pass the mutable [`sgr_graph::Graph`] directly or — the fast path —
 //! freeze it once into a [`sgr_graph::CsrGraph`] and hand the snapshot to
-//! all 12 computations. [`StructuralProperties::compute`] itself freezes
-//! the largest component before running the BFS-heavy global kernels.
-//! Results are bitwise-identical across the two backends when the
-//! snapshot is order-preserving ([`sgr_graph::CsrGraph::freeze`]); the
-//! property tests in `tests/backend_equivalence.rs` pin that guarantee.
+//! all 12 computations. [`StructuralProperties::compute`] itself extracts
+//! the largest component straight into a CSR snapshot
+//! ([`sgr_graph::components::largest_component_csr`]) before running the
+//! BFS-heavy global kernels. Results are bitwise-identical across the two
+//! backends when the snapshot is order-preserving
+//! ([`sgr_graph::CsrGraph::freeze`]); the property tests in
+//! `tests/backend_equivalence.rs` pin that guarantee.
+//!
+//! # Traversal model
+//!
+//! All BFS-heavy kernels (shortest paths, dissimilarity profiles,
+//! component labeling, the Brandes phase setup) run on the shared [`bfs`]
+//! engine: direction-optimizing single-source BFS (Beamer-style α/β
+//! switching between top-down frontier expansion and bottom-up unvisited
+//! scanning) and multi-source batched BFS (up to [`bfs::BATCH_WIDTH`]
+//! sources per arena pass via per-node `u64` seen-masks), with all state
+//! in a reusable allocation-free [`bfs::BfsScratch`]. The key contract:
+//! **bottom-up preserves level sets exactly** — level `l + 1` is by
+//! definition the set of unvisited nodes adjacent to level `l`, and which
+//! endpoint discovers an edge changes only within-level discovery order,
+//! never membership — and every engine output (per-level counts,
+//! eccentricities, the "lowest id in the deepest level" far-node rule) is
+//! a function of level sets alone. Combined with chunk-ordered reduction
+//! over source chunks, that makes every kernel's result **bitwise
+//! identical** across engines ([`PropsConfig::bfs`] selects the
+//! [`bfs::reference`] oracle), backends, batch compositions, and thread
+//! counts; `tests/bfs_equivalence.rs` pins the whole surface. See the
+//! [`bfs`] module docs for the full determinism argument.
 
 pub mod betweenness;
+pub mod bfs;
 pub mod dissimilarity;
 pub mod distance;
 pub mod local;
@@ -43,8 +67,10 @@ pub mod paths;
 pub mod spectral;
 pub mod triangles;
 
-use sgr_graph::components::largest_component;
-use sgr_graph::{CsrGraph, GraphView};
+pub use bfs::BfsEngine;
+
+use sgr_graph::components::largest_component_csr;
+use sgr_graph::GraphView;
 
 /// Names of the 12 properties in the paper's table order.
 pub const PROPERTY_NAMES: [&str; 12] = [
@@ -65,6 +91,9 @@ pub struct PropsConfig {
     pub threads: usize,
     /// Seed for pivot selection.
     pub seed: u64,
+    /// Which BFS kernel the traversal-heavy computations run on
+    /// (results are bitwise-identical either way; see [`bfs`]).
+    pub bfs: BfsEngine,
 }
 
 impl Default for PropsConfig {
@@ -74,6 +103,7 @@ impl Default for PropsConfig {
             num_pivots: 512,
             threads: 0,
             seed: 0x5eed,
+            bfs: BfsEngine::DirectionOptimizing,
         }
     }
 }
@@ -125,10 +155,10 @@ impl StructuralProperties {
     pub fn compute<G: GraphView>(g: &G, cfg: &PropsConfig) -> Self {
         let local = local::LocalProperties::compute(g);
         // Global properties on the largest connected component, as in the
-        // paper (§V-B); the component is frozen once and the BFS-heavy
-        // kernels read the CSR arena.
-        let (lcc, _) = largest_component(g);
-        let lcc = CsrGraph::freeze(&lcc);
+        // paper (§V-B); the component is extracted straight into a CSR
+        // snapshot (no intermediate per-node-Vec Graph) and the BFS-heavy
+        // kernels read the flat arena.
+        let (lcc, _) = largest_component_csr(g);
         let sp = paths::shortest_path_properties(&lcc, cfg);
         let btw = betweenness::betweenness_by_degree(&lcc, cfg);
         let lambda1 = spectral::largest_eigenvalue(g, 1e-10, 1000);

@@ -8,15 +8,19 @@
 //! over sources with std scoped threads — the role the paper's
 //! parallel algorithms (its Ref. 62) play.
 //!
-//! The BFS reads neighbor slices straight through [`GraphView`] — no
-//! intermediate adjacency copy — so handing it a [`sgr_graph::CsrGraph`]
-//! snapshot traverses one flat arena. Parallel edges and self-loops cost
-//! one extra distance check each and never change a distance, so the
-//! histogram is identical on deduplicated input.
+//! Traversal runs on the shared [`crate::bfs`] engine: sources are
+//! processed in multi-source batches (one arena pass advances up to
+//! [`BATCH_WIDTH`] pivots) and the double-sweep refinement uses the
+//! direction-optimizing single-source kernel, with all state in a
+//! per-worker [`BfsScratch`] — no per-source allocations.
+//! [`PropsConfig::bfs`] can select the [`crate::bfs::reference`] oracle
+//! instead; results are bitwise-identical (see the crate-level
+//! "Traversal model" docs). Parallel edges and self-loops never change a
+//! distance, so the histogram is identical on deduplicated input.
 
+use crate::bfs::{self, BfsEngine, BfsScratch, BATCH_WIDTH};
 use crate::PropsConfig;
 use sgr_graph::{GraphView, NodeId};
-use sgr_util::Xoshiro256pp;
 
 /// Results of the shortest-path computation.
 #[derive(Clone, Debug)]
@@ -28,60 +32,6 @@ pub struct ShortestPathProperties {
     /// `l_max` — the diameter (exact in exact mode, a double-sweep lower
     /// bound in sampled mode).
     pub diameter: usize,
-}
-
-/// Single-source level-synchronous BFS; returns the distance histogram
-/// (`hist[l]` = number of nodes at distance `l > 0`) and the eccentricity
-/// with one farthest node.
-///
-/// The visited set is a dense bitset (`n/8` bytes — cache-resident even at
-/// million-node scale, where a `u32` distance array would be 32× larger
-/// and each check a likely miss), and distances are implied by level
-/// boundaries in the discovery queue, so no per-node distance store is
-/// touched at all. Parallel edges only repeat the (failed) visited check;
-/// a self-loop fails it by construction (the source of the scan is already
-/// marked).
-fn bfs_histogram<G: GraphView>(
-    g: &G,
-    source: NodeId,
-    visited: &mut [u64],
-    queue: &mut Vec<NodeId>,
-) -> (Vec<u64>, NodeId) {
-    for w in visited.iter_mut() {
-        *w = 0;
-    }
-    queue.clear();
-    visited[source as usize >> 6] |= 1u64 << (source & 63);
-    queue.push(source);
-    let mut hist: Vec<u64> = Vec::new();
-    let mut start = 0usize;
-    while start < queue.len() {
-        let end = queue.len();
-        for i in start..end {
-            let u = queue[i];
-            for &v in g.neighbors(u) {
-                let word = (v >> 6) as usize;
-                let bit = 1u64 << (v & 63);
-                if visited[word] & bit == 0 {
-                    visited[word] |= bit;
-                    queue.push(v);
-                }
-            }
-        }
-        if queue.len() > end {
-            // Everything pushed during this pass sits one level deeper.
-            hist.push((queue.len() - end) as u64);
-        }
-        start = end;
-    }
-    // Convert per-level counts to the distance-indexed convention
-    // (index 0 is the source's own level and always reads 0).
-    let mut full = vec![0u64; hist.len() + 1];
-    full[1..].copy_from_slice(&hist);
-    (
-        full,
-        *queue.last().expect("queue holds at least the source"),
-    )
 }
 
 /// Computes the shortest-path properties of a **connected** graph (callers
@@ -99,33 +49,60 @@ pub fn shortest_path_properties<G: GraphView + Sync>(
             diameter: 0,
         };
     }
-    let exact = n <= cfg.exact_threshold;
-    let sources: Vec<NodeId> = if exact {
-        (0..n as NodeId).collect()
-    } else {
-        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
-        let k = cfg.num_pivots.min(n);
-        sgr_util::sampling::sample_indices(n, k, &mut rng)
-            .into_iter()
-            .map(|i| i as NodeId)
-            .collect()
-    };
-    let (mut hist, max_far) = parallel_histogram(g, &sources, cfg.effective_threads());
+    let (sources, exact) = bfs::pivot_sources(n, cfg, 0);
+    let results = bfs::run_source_chunks(g, &sources, cfg.effective_threads(), |g, chunk| {
+        chunk_histogram(g, chunk, cfg.bfs)
+    });
+    // Merge chunk results in chunk order with the same first-max-wins far
+    // rule each chunk applies internally, so the double-sweep seed (and
+    // hence the sampled-mode diameter bound) does not depend on the
+    // thread count.
+    let mut hist: Vec<u64> = Vec::new();
+    let mut max_far = sources.first().copied().unwrap_or(0);
+    let mut best = 0usize;
+    for (h, f) in results {
+        if h.len() > best {
+            best = h.len();
+            max_far = f;
+        }
+        if h.len() > hist.len() {
+            hist.resize(h.len(), 0);
+        }
+        for (l, &c) in h.iter().enumerate() {
+            hist[l] += c;
+        }
+    }
 
     // Diameter: exact when all sources used; otherwise refine with double
     // sweeps from the farthest nodes found.
     let mut diameter = hist.len().saturating_sub(1);
     if !exact {
-        let mut visited = vec![0u64; n.div_ceil(64)];
-        let mut queue = Vec::with_capacity(n);
         let mut frontier = max_far;
-        for _ in 0..4 {
-            let (h, far) = bfs_histogram(g, frontier, &mut visited, &mut queue);
-            diameter = diameter.max(h.len().saturating_sub(1));
-            if far == frontier {
-                break;
+        match cfg.bfs {
+            BfsEngine::DirectionOptimizing => {
+                let mut scratch = BfsScratch::new();
+                for _ in 0..4 {
+                    let run = scratch.single_source(g, frontier);
+                    diameter = diameter.max(run.depth);
+                    if run.far == frontier {
+                        break;
+                    }
+                    frontier = run.far;
+                }
             }
-            frontier = far;
+            BfsEngine::Reference => {
+                let mut visited = vec![0u64; n.div_ceil(64)];
+                let mut queue = Vec::with_capacity(n);
+                for _ in 0..4 {
+                    let (h, far) =
+                        bfs::reference::bfs_histogram(g, frontier, &mut visited, &mut queue);
+                    diameter = diameter.max(h.len().saturating_sub(1));
+                    if far == frontier {
+                        break;
+                    }
+                    frontier = far;
+                }
+            }
         }
     }
     if hist.len() <= diameter {
@@ -160,78 +137,56 @@ pub fn shortest_path_properties<G: GraphView + Sync>(
     }
 }
 
-/// Runs BFS from every source across worker threads, merging histograms.
-/// Returns the merged histogram and one farthest node (for double sweep).
-fn parallel_histogram<G: GraphView + Sync>(
-    g: &G,
-    sources: &[NodeId],
-    threads: usize,
-) -> (Vec<u64>, NodeId) {
+/// One worker's share of the sweep: merged histogram over `chunk`'s
+/// sources plus the chunk's far node under first-max-wins in source order
+/// (the far node of the first source reaching the chunk's maximum depth).
+/// Histogram entries are level-set sizes, so engine choice cannot change
+/// them; the far node is level-set determined per source, so the merged
+/// pair is bitwise engine-invariant.
+fn chunk_histogram<G: GraphView>(g: &G, chunk: &[NodeId], engine: BfsEngine) -> (Vec<u64>, NodeId) {
     let n = g.num_nodes();
-    let threads = threads.max(1).min(sources.len().max(1));
-    if threads <= 1 || sources.len() < 4 {
-        let mut visited = vec![0u64; n.div_ceil(64)];
-        let mut queue = Vec::with_capacity(n);
-        let mut merged: Vec<u64> = Vec::new();
-        let mut far = sources.first().copied().unwrap_or(0);
-        for &s in sources {
-            let (h, f) = bfs_histogram(g, s, &mut visited, &mut queue);
-            // First-max-wins in source order — the same rule the threaded
-            // branch applies per chunk and across chunks, so the
-            // double-sweep seed (and hence the sampled-mode diameter
-            // bound) does not depend on the thread count.
-            if h.len() > merged.len() {
-                merged.resize(h.len(), 0);
-                far = f;
-            }
-            for (l, &c) in h.iter().enumerate() {
-                merged[l] += c;
-            }
-        }
-        return (merged, far);
-    }
-    let chunks: Vec<&[NodeId]> = sources.chunks(sources.len().div_ceil(threads)).collect();
-    let results: Vec<(Vec<u64>, NodeId)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut visited = vec![0u64; n.div_ceil(64)];
-                    let mut queue = Vec::with_capacity(n);
-                    let mut merged: Vec<u64> = Vec::new();
-                    let mut far = chunk.first().copied().unwrap_or(0);
-                    for &s in chunk {
-                        let (h, f) = bfs_histogram(g, s, &mut visited, &mut queue);
-                        if h.len() > merged.len() {
-                            merged.resize(h.len(), 0);
-                            far = f;
-                        }
-                        for (l, &c) in h.iter().enumerate() {
-                            merged[l] += c;
-                        }
-                    }
-                    (merged, far)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("BFS worker panicked"))
-            .collect()
-    });
     let mut merged: Vec<u64> = Vec::new();
-    let mut far = sources.first().copied().unwrap_or(0);
+    let mut far = chunk.first().copied().unwrap_or(0);
     let mut best = 0usize;
-    for (h, f) in results {
-        if h.len() > best {
-            best = h.len();
-            far = f;
+    match engine {
+        BfsEngine::DirectionOptimizing => {
+            let mut scratch = BfsScratch::new();
+            for batch in chunk.chunks(BATCH_WIDTH) {
+                let levels = scratch.batch(g, batch);
+                if levels > merged.len() {
+                    merged.resize(levels, 0);
+                }
+                for i in 0..batch.len() {
+                    if scratch.batch_depth(i) + 1 > best {
+                        best = scratch.batch_depth(i) + 1;
+                        far = scratch.batch_far(i);
+                    }
+                }
+                for (l, m) in merged.iter_mut().enumerate().take(levels).skip(1) {
+                    let mut sum = 0u64;
+                    for i in 0..batch.len() {
+                        sum += scratch.batch_count(l, i);
+                    }
+                    *m += sum;
+                }
+            }
         }
-        if h.len() > merged.len() {
-            merged.resize(h.len(), 0);
-        }
-        for (l, &c) in h.iter().enumerate() {
-            merged[l] += c;
+        BfsEngine::Reference => {
+            let mut visited = vec![0u64; n.div_ceil(64)];
+            let mut queue = Vec::with_capacity(n);
+            for &s in chunk {
+                let (h, f) = bfs::reference::bfs_histogram(g, s, &mut visited, &mut queue);
+                if h.len() > best {
+                    best = h.len();
+                    far = f;
+                }
+                if h.len() > merged.len() {
+                    merged.resize(h.len(), 0);
+                }
+                for (l, &c) in h.iter().enumerate() {
+                    merged[l] += c;
+                }
+            }
         }
     }
     (merged, far)
@@ -311,6 +266,35 @@ mod tests {
         // Diameter lower bound within 1 for double-sweep on small-worlds.
         assert!(approx.diameter <= exact.diameter);
         assert!(approx.diameter + 1 >= exact.diameter);
+    }
+
+    #[test]
+    fn engines_agree_bitwise() {
+        let g = sgr_gen::holme_kim(1200, 3, 0.3, &mut sgr_util::Xoshiro256pp::seed_from_u64(5))
+            .unwrap();
+        for exact_threshold in [0, 4000] {
+            let base = PropsConfig {
+                exact_threshold,
+                num_pivots: 96,
+                threads: 1,
+                ..cfg()
+            };
+            let engine = shortest_path_properties(&g, &base);
+            let reference = shortest_path_properties(
+                &g,
+                &PropsConfig {
+                    bfs: BfsEngine::Reference,
+                    ..base
+                },
+            );
+            assert_eq!(engine.diameter, reference.diameter);
+            assert_eq!(
+                engine.average_length.to_bits(),
+                reference.average_length.to_bits()
+            );
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&engine.length_dist), bits(&reference.length_dist));
+        }
     }
 
     #[test]
