@@ -31,6 +31,18 @@
 //!   gated on bitwise fidelity by
 //!   [`sgr_bench::harness::checkpoint_round_trip`].
 //!
+//! Memory is **measured, not asserted**, through the tracking global
+//! allocator ([`sgr_util::alloc`]): `graph_bytes` is the modeled heap
+//! footprint of the constructed arena-backed graph,
+//! `reference_graph_bytes` that of a [`ReferenceGraph`] replica (the
+//! retired one-`Vec`-per-node representation with exact-fit buffers),
+//! `graph_bytes_ratio` their quotient (CI gates the 1M row at ≤ 0.60),
+//! and `peak_construct_bytes` the construction phase's high-water mark
+//! (graph + stub-matching scratch). The hidden graph is pulled from the
+//! snapshot cache when present ([`load_or_generate_hidden`]) and the
+//! `regenerated` field records which happened; the crawl runs off its
+//! own seed so cached and regenerated runs drive the identical pipeline.
+//!
 //! CI gates `targeting_seconds ≤ 2 × construct_seconds` and the split
 //! sanity `stub_matching_seconds ≤ construct_seconds` at 100k (see
 //! `.github/workflows/ci.yml`): targeting must stay cheaper than the
@@ -40,15 +52,24 @@
 //! Usage: `bench_construct [out.json] [sizes_csv]`
 //! (defaults: `BENCH_construct.json`, sizes `100000,1000000`).
 
+use sgr_bench::harness::load_or_generate_hidden;
 use sgr_core::{construct, target_dv, target_jdm};
 use sgr_dk::ConstructScratch;
 use sgr_estimate::{estimate_all_with, EstimateScratch};
-use sgr_graph::Graph;
+use sgr_graph::reference::ReferenceGraph;
 use sgr_sample::random_walk_until_fraction;
-use sgr_util::Xoshiro256pp;
+use sgr_util::{alloc, Xoshiro256pp};
 use std::time::Instant;
 
+#[global_allocator]
+static ALLOC: alloc::TrackingAlloc = alloc::TrackingAlloc;
+
 const GRAPH_SEED: u64 = 14;
+/// The crawl draws from its own stream (it used to continue the
+/// generator's) so a cache-loaded hidden graph leaves the pipeline's RNG
+/// state — and with it every downstream number — identical to a
+/// regenerated run's.
+const CRAWL_SEED: u64 = 15;
 const CRAWL_FRACTION: f64 = 0.1;
 
 struct SizeResult {
@@ -68,11 +89,18 @@ struct SizeResult {
     checkpoint_bytes: u64,
     checkpoint_write_secs: f64,
     checkpoint_load_secs: f64,
+    regenerated: bool,
+    graph_bytes: u64,
+    reference_graph_bytes: u64,
+    peak_construct_bytes: u64,
 }
 
 fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
-    let mut rng = Xoshiro256pp::seed_from_u64(GRAPH_SEED);
-    let g: Graph = sgr_gen::holme_kim(n, 4, 0.5, &mut rng).unwrap();
+    let (g, regenerated) =
+        load_or_generate_hidden(&format!("holme_kim_n{n}_m4_pt0.5_seed{GRAPH_SEED}"), || {
+            sgr_gen::holme_kim(n, 4, 0.5, &mut Xoshiro256pp::seed_from_u64(GRAPH_SEED)).unwrap()
+        });
+    let mut rng = Xoshiro256pp::seed_from_u64(CRAWL_SEED);
     let crawl = random_walk_until_fraction(&g, CRAWL_FRACTION, &mut rng);
     let subgraph = crawl.subgraph();
 
@@ -93,10 +121,15 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
     // below replays the identical draw stream.
     let mut cs = ConstructScratch::new();
     let rng_replay = rng.clone();
+    alloc::reset_peak();
+    let live_at_reset = alloc::live_model_bytes();
     let t = Instant::now();
     let built = construct::extend_subgraph_with(&subgraph, &dv, &jdm, &mut rng, &mut cs)
         .expect("construction failed");
     let construct_secs = t.elapsed().as_secs_f64();
+    // High-water mark of the cold construction alone: graph arena plus
+    // stub-matching scratch, above whatever was already resident.
+    let peak_construct_bytes = alloc::peak_model_bytes().saturating_sub(live_at_reset);
     let built_nodes = built.graph.num_nodes();
     let built_edges = built.graph.num_edges();
     let stub_matching_secs = built.stub_matching_secs;
@@ -115,6 +148,19 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
         rebuilt.added_edges, added_edges,
         "scratch reuse changed the construction output"
     );
+
+    // Measured graph footprints: live-byte delta while one extra copy of
+    // the constructed graph is resident — once in the arena
+    // representation, once as a ReferenceGraph replica (the retired
+    // one-`Vec`-per-node layout, exact-fit buffers, i.e. its floor).
+    let live0 = alloc::live_model_bytes();
+    let arena_copy = rebuilt.graph.clone();
+    let graph_bytes = alloc::live_model_bytes().saturating_sub(live0);
+    drop(arena_copy);
+    let live0 = alloc::live_model_bytes();
+    let replica = ReferenceGraph::replica_of(&rebuilt.graph);
+    let reference_graph_bytes = alloc::live_model_bytes().saturating_sub(live0);
+    drop(replica);
 
     // Checkpoint round trip of the constructed graph through the snapshot
     // container, gated on bitwise fidelity.
@@ -143,6 +189,10 @@ fn run_size(n: usize, scratch: &mut EstimateScratch) -> SizeResult {
         checkpoint_bytes,
         checkpoint_write_secs,
         checkpoint_load_secs,
+        regenerated,
+        graph_bytes,
+        reference_graph_bytes,
+        peak_construct_bytes,
     }
 }
 
@@ -189,6 +239,15 @@ fn main() {
             "  checkpoint {:.2} MiB · write {:.3}s ({:.0} MiB/s) · load {:.3}s ({:.0} MiB/s)",
             mb, r.checkpoint_write_secs, ckpt_write_mb_s, r.checkpoint_load_secs, ckpt_load_mb_s,
         );
+        let graph_bytes_ratio = r.graph_bytes as f64 / r.reference_graph_bytes as f64;
+        eprintln!(
+            "  memory: graph {:.2} MiB (arena) vs {:.2} MiB (reference) → ratio {:.3} · construct peak {:.2} MiB · hidden graph {}",
+            r.graph_bytes as f64 / (1024.0 * 1024.0),
+            r.reference_graph_bytes as f64 / (1024.0 * 1024.0),
+            graph_bytes_ratio,
+            r.peak_construct_bytes as f64 / (1024.0 * 1024.0),
+            if r.regenerated { "regenerated" } else { "cached" },
+        );
         entries.push(format!(
             concat!(
                 "    \"{}\": {{\n",
@@ -216,7 +275,12 @@ fn main() {
                 "      \"checkpoint_write_seconds\": {:.6},\n",
                 "      \"checkpoint_load_seconds\": {:.6},\n",
                 "      \"checkpoint_write_mb_per_sec\": {:.1},\n",
-                "      \"checkpoint_load_mb_per_sec\": {:.1}\n",
+                "      \"checkpoint_load_mb_per_sec\": {:.1},\n",
+                "      \"regenerated\": {},\n",
+                "      \"graph_bytes\": {},\n",
+                "      \"reference_graph_bytes\": {},\n",
+                "      \"graph_bytes_ratio\": {:.6},\n",
+                "      \"peak_construct_bytes\": {}\n",
                 "    }}"
             ),
             n,
@@ -245,6 +309,11 @@ fn main() {
             r.checkpoint_load_secs,
             ckpt_write_mb_s,
             ckpt_load_mb_s,
+            r.regenerated,
+            r.graph_bytes,
+            r.reference_graph_bytes,
+            graph_bytes_ratio,
+            r.peak_construct_bytes,
         ));
     }
 

@@ -154,21 +154,12 @@ fn put_graph(w: &mut PayloadWriter, g: &Graph) {
 fn get_graph(r: &mut PayloadReader) -> Result<Graph, SnapshotError> {
     let degrees = r.get_u32_slice()?;
     let flat = r.get_u32_slice()?;
-    let total: u64 = degrees.iter().map(|&d| d as u64).sum();
-    if total != flat.len() as u64 {
-        return Err(SnapshotError::Corrupt(format!(
-            "adjacency degree sum {total} != neighbor arena length {}",
-            flat.len()
-        )));
-    }
-    let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(degrees.len());
-    let mut off = 0usize;
-    for &d in &degrees {
-        let d = d as usize;
-        adj.push(flat[off..off + d].to_vec());
-        off += d;
-    }
-    Graph::from_adjacency(adj).map_err(SnapshotError::Corrupt)
+    // The on-disk layout (degrees + one neighbor slab in node order) is
+    // exactly the arena layout, so the slab is adopted wholesale — no
+    // intermediate per-node `Vec`s. Validation (degree/slab consistency,
+    // symmetry, loop pairing) happens inside `from_flat`; any violation
+    // is a typed `GraphError` surfaced as checkpoint corruption.
+    Graph::from_flat(&degrees, flat).map_err(|e| SnapshotError::Corrupt(e.to_string()))
 }
 
 fn put_pairs(w: &mut PayloadWriter, pairs: &[(NodeId, NodeId)]) {

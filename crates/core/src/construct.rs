@@ -66,12 +66,6 @@ pub fn extend_subgraph_with(
     let n_total = dv.num_nodes() as usize;
     debug_assert!(n_total >= n_sub, "DV-3 guarantees room for the subgraph");
 
-    // G̃ starts as G' over ids 0..n_sub, plus the added nodes.
-    let mut g = Graph::with_nodes(n_total);
-    for (u, v) in sg.graph.edges() {
-        g.add_edge(u, v);
-    }
-
     // Degree sequence for the added nodes: k appears n*(k) - n'(k) times.
     // The subtraction is exactly condition DV-3; a violated invariant
     // must surface as an error, not wrap around in release mode and ask
@@ -95,6 +89,19 @@ pub fn extend_subgraph_with(
     let mut target_deg: Vec<u32> = Vec::with_capacity(n_total);
     target_deg.extend_from_slice(&dv.d_star);
     target_deg.extend_from_slice(&dseq);
+
+    // G̃ starts as G' over ids 0..n_sub, plus the added nodes. The final
+    // degrees are already fixed, so the adjacency arena is laid out at
+    // its exact target extents *before* the subgraph edges go in: both
+    // the insertion below and the stub-matching fill wire into
+    // pre-reserved slots with zero per-node reallocations. (Edge
+    // insertion consumes no RNG, so hoisting the degree-sequence work
+    // above it leaves the draw stream untouched.)
+    let mut g = Graph::with_nodes(n_total);
+    g.reserve_neighbors(&target_deg);
+    for (u, v) in sg.graph.edges() {
+        g.add_edge(u, v);
+    }
 
     // Edges to add per degree-class pair: m*(k,k') − m'(k,k') is
     // condition JDM-4, guarded the same way.

@@ -1,55 +1,17 @@
 //! Shared test support for the sgr-dk integration suites.
 //!
 //! Declaring `mod common;` pulls this into a test binary — including the
-//! counting **global allocator**, so any suite using [`count_allocs`]
-//! gets the interposition automatically instead of copy-pasting the
-//! allocator (it started life inline in `engine_equivalence.rs`).
+//! tracking **global allocator**, so any suite using [`count_allocs`]
+//! gets the interposition automatically. The allocator itself lives in
+//! [`sgr_util::alloc`] (it started life inline in
+//! `engine_equivalence.rs`, then here); this module just installs it and
+//! re-exports the counting entry point.
 
 // Each integration-test binary compiles this module independently and
 // uses a different subset of it.
-#![allow(dead_code)]
+#![allow(dead_code, unused_imports)]
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-
-/// Global allocator that counts allocations on the current thread while
-/// armed. Used to prove hot paths (swap attempts, warm stub matching) are
-/// allocation-free.
-pub struct CountingAlloc;
-
-thread_local! {
-    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
-    static ARMED: Cell<bool> = const { Cell::new(false) };
-}
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if ARMED.with(|a| a.get()) {
-            ALLOC_COUNT.with(|c| c.set(c.get() + 1));
-        }
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if ARMED.with(|a| a.get()) {
-            ALLOC_COUNT.with(|c| c.set(c.get() + 1));
-        }
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
+pub use sgr_util::alloc::count_allocs;
 
 #[global_allocator]
-static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Runs `f` with allocation counting armed; returns its allocation count.
-pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
-    ALLOC_COUNT.with(|c| c.set(0));
-    ARMED.with(|a| a.set(true));
-    let r = f();
-    ARMED.with(|a| a.set(false));
-    (ALLOC_COUNT.with(|c| c.get()), r)
-}
+static ALLOC: sgr_util::alloc::TrackingAlloc = sgr_util::alloc::TrackingAlloc;

@@ -8,10 +8,30 @@
 //! `A_ij` = number of edges between `v_i` and `v_j` for `i ≠ j` and
 //! `A_ii` = twice the number of self-loops of `v_i`.
 //!
-//! [`Graph`] implements exactly that model as an adjacency-list multigraph:
+//! [`Graph`] implements exactly that model as an adjacency multigraph:
 //! a self-loop at `u` stores `u` twice in `u`'s neighbor list, so
-//! `degree(u) == adj[u].len()` is consistent with the handshake lemma and
-//! with the `A_ii` convention.
+//! `degree(u) == neighbors(u).len()` is consistent with the handshake
+//! lemma and with the `A_ii` convention.
+//!
+//! ## Storage model
+//!
+//! [`Graph`] keeps **every neighbor list in one flat arena** — per-node
+//! extents over a single `Vec<NodeId>` slab, not one heap `Vec` per node.
+//! The restoration pipeline makes that layout natural: targeting fixes
+//! every node's degree *before* wiring, so
+//! [`Graph::reserve_neighbors`] lays the extents out tightly at exactly
+//! their target capacities, stub matching appends into pre-sized slots
+//! with zero reallocations, and the double-edge-swap rewiring phase is
+//! degree-preserving — each committed swap removes a neighbor entry from
+//! a node before adding one back, so per-node occupancy never exceeds the
+//! reserved extent even mid-commit, and **no extent ever grows or moves
+//! after reservation**. Incremental builders without a known degree
+//! sequence (generators, crawl subgraphs) run the same type in a dynamic
+//! layout where overflowing extents relocate within the slab. Mutations
+//! reproduce the old per-node-`Vec` element movement exactly; the retired
+//! representation survives as [`reference::ReferenceGraph`], the oracle
+//! the arena is property-tested against. The full invariant catalogue is
+//! on [`Graph`]'s type-level docs.
 //!
 //! ## The read/write split
 //!
@@ -46,10 +66,11 @@ pub mod components;
 pub mod csr;
 pub mod index;
 pub mod io;
+pub mod reference;
 pub mod snapshot;
 pub mod view;
 
 pub use csr::{CsrGraph, RelabeledCsr};
-pub use graph::{DegreeVector, Graph, NodeId};
+pub use graph::{DegreeVector, Graph, GraphError, NodeId};
 pub use snapshot::SnapshotError;
 pub use view::GraphView;

@@ -1,0 +1,219 @@
+//! The retired per-node-`Vec` adjacency representation, kept as an
+//! **oracle**.
+//!
+//! [`ReferenceGraph`] is the `Vec<Vec<NodeId>>` storage [`Graph`](crate::Graph) used
+//! before the flat-arena refactor, preserved verbatim for two jobs:
+//!
+//! * **Order equivalence.** The arena [`Graph`](crate::Graph)'s mutations promise the
+//!   exact element movement of this representation — appends at the live
+//!   length, `swap_remove` within the live slice — because neighbor
+//!   *order* feeds frozen CSR order, which feeds every order-sensitive
+//!   float kernel downstream. The property suite
+//!   (`crates/graph/tests/arena_equivalence.rs`) replays random operation
+//!   sequences against both types and requires neighbor-for-neighbor
+//!   identity.
+//! * **Footprint baseline.** `bench_construct` builds a
+//!   [`ReferenceGraph::replica_of`] the constructed graph — one exact-fit
+//!   heap buffer per node, the allocation pattern the old
+//!   `reserve_neighbors` produced — and reports its measured bytes next
+//!   to the arena's, so the memory claim in `BENCH_construct.json` is a
+//!   measured ratio, not an assertion.
+//!
+//! It is deliberately *not* a production type: nothing outside tests and
+//! benches should construct one.
+
+use crate::view::GraphView;
+use crate::{DegreeVector, NodeId};
+
+/// Per-node-`Vec` adjacency multigraph — the pre-arena
+/// [`Graph`](crate::Graph) storage, same conventions: an edge `{u, v}`
+/// stores
+/// `v` in `adj[u]` and `u` in `adj[v]`, a self-loop at `u` stores `u`
+/// twice in `adj[u]`.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceGraph {
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl ReferenceGraph {
+    /// Creates a graph with `n` isolated nodes (ids `0 .. n`).
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Self::with_nodes(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Copies any view into this representation with **one exact-fit
+    /// allocation per node** — the pattern the old `reserve_exact`-based
+    /// `reserve_neighbors` left behind — preserving neighbor order. This
+    /// is the footprint baseline `bench_construct` measures against.
+    pub fn replica_of<G: GraphView + ?Sized>(g: &G) -> Self {
+        let mut adj: Vec<Vec<NodeId>> = Vec::with_capacity(g.num_nodes());
+        for u in g.nodes() {
+            let nbrs = g.neighbors(u);
+            let mut list = Vec::with_capacity(nbrs.len());
+            list.extend_from_slice(nbrs);
+            adj.push(list);
+        }
+        Self {
+            adj,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of nodes (including isolated ones).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges, counting each multi-edge copy once and each
+    /// self-loop once.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Reserves neighbor-list capacity so node `u` can reach degree
+    /// `degrees[u]` without reallocating — the old arena builder, one
+    /// `reserve_exact` per node.
+    ///
+    /// # Panics
+    /// Panics if `degrees.len()` differs from the node count.
+    pub fn reserve_neighbors(&mut self, degrees: &[u32]) {
+        assert_eq!(degrees.len(), self.adj.len(), "degree length mismatch");
+        for (nbrs, &d) in self.adj.iter_mut().zip(degrees) {
+            let want = d as usize;
+            if want > nbrs.len() {
+                nbrs.reserve_exact(want - nbrs.len());
+            }
+        }
+    }
+
+    /// Appends a new isolated node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as NodeId
+    }
+
+    /// Adds an undirected edge `{u, v}`; `u == v` adds a self-loop.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge ({u}, {v}) out of range for {} nodes",
+            self.adj.len()
+        );
+        if u == v {
+            self.adj[u as usize].push(u);
+            self.adj[u as usize].push(u);
+        } else {
+            self.adj[u as usize].push(v);
+            self.adj[v as usize].push(u);
+        }
+        self.num_edges += 1;
+    }
+
+    /// Removes one copy of edge `{u, v}` if present; returns whether an
+    /// edge was removed. O(deg(u) + deg(v)).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let pos_u = self.adj[u as usize].iter().position(|&x| x == v);
+        let Some(pu) = pos_u else { return false };
+        if u == v {
+            self.adj[u as usize].swap_remove(pu);
+            let second = self.adj[u as usize]
+                .iter()
+                .position(|&x| x == u)
+                .expect("self-loop invariant: loops are stored twice");
+            self.adj[u as usize].swap_remove(second);
+        } else {
+            self.adj[u as usize].swap_remove(pu);
+            let pv = self.adj[v as usize]
+                .iter()
+                .position(|&x| x == u)
+                .expect("undirected invariant: reverse entry exists");
+            self.adj[v as usize].swap_remove(pv);
+        }
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Degree of `u` (self-loops count twice).
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Neighbor list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Iterates every node id.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(|i| i as NodeId)
+    }
+
+    /// Degree vector `{n(k)}_k` indexed `0 ..= k_max`.
+    pub fn degree_vector(&self) -> DegreeVector {
+        let max = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let mut dv = vec![0usize; max + 1];
+        for nbrs in &self.adj {
+            dv[nbrs.len()] += 1;
+        }
+        dv
+    }
+}
+
+impl GraphView for ReferenceGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        ReferenceGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        ReferenceGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        ReferenceGraph::neighbors(self, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn replica_preserves_order_and_counts() {
+        let mut g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (3, 1)]);
+        g.add_edge(1, 1);
+        let r = ReferenceGraph::replica_of(&g);
+        assert_eq!(r.num_nodes(), g.num_nodes());
+        assert_eq!(r.num_edges(), g.num_edges());
+        for u in g.nodes() {
+            assert_eq!(r.neighbors(u), g.neighbors(u));
+        }
+        assert_eq!(r.degree_vector(), g.degree_vector());
+    }
+}

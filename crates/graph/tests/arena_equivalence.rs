@@ -1,0 +1,245 @@
+//! Arena-vs-reference equivalence suite.
+//!
+//! The arena-backed [`Graph`] must be observationally identical to
+//! [`ReferenceGraph`] — the retired one-`Vec`-per-node representation it
+//! replaced — under every mutation sequence the pipeline performs. That
+//! is a *bitwise* claim, not just a set claim: neighbor-list ORDER feeds
+//! the frozen CSR order, which feeds the float property kernels, so a
+//! single transposed pair would silently change golden hashes. These
+//! properties pin:
+//!
+//! * per-node neighbor sequences (order included) after random
+//!   add_node / add_edge / remove_edge interleavings;
+//! * the edge iterator sequence, degree vector, and joint degree matrix;
+//! * freeze round-trips (`Graph::freeze` vs `CsrGraph::freeze` of the
+//!   reference, and `Graph::from_view` of the result);
+//! * the reserved construction mode (the pipeline's path: degrees known
+//!   up front, `reserve_neighbors`, then wiring) against the
+//!   unreserved one;
+//! * allocation-freedom of the warm path: after `reserve_neighbors`,
+//!   wiring to the reserved degrees and running degree-preserving swap
+//!   cycles performs zero heap allocations.
+
+mod jdm {
+    use sgr_graph::GraphView;
+    use std::collections::BTreeMap;
+
+    /// Joint degree matrix as a sparse map: unordered degree pair of an
+    /// edge's endpoints → number of edges with that pair.
+    pub fn of<G: GraphView>(g: &G) -> BTreeMap<(usize, usize), usize> {
+        let mut m = BTreeMap::new();
+        for (u, v) in g.edges() {
+            let (a, b) = (g.degree(u), g.degree(v));
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *m.entry(key).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+use proptest::prelude::*;
+use sgr_graph::reference::ReferenceGraph;
+use sgr_graph::{CsrGraph, Graph, GraphView, NodeId};
+
+#[global_allocator]
+static ALLOC: sgr_util::alloc::TrackingAlloc = sgr_util::alloc::TrackingAlloc;
+
+#[derive(Clone, Debug)]
+enum Op {
+    AddNode,
+    /// Endpoints are reduced modulo the node count at application time,
+    /// so sequences stay valid as `AddNode` grows the graph.
+    AddEdge(usize, usize),
+    RemoveEdge(usize, usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    (2usize..24).prop_flat_map(|n| {
+        // Weighted op mix: 1 grow, 6 add, 3 remove per 10 — additions
+        // dominate so lists grow deep enough to exercise swap_remove's
+        // element movement, with enough removals to churn every slot.
+        let op = (0usize..10, 0usize..1 << 16, 0usize..1 << 16).prop_map(|(k, a, b)| match k {
+            0 => Op::AddNode,
+            1..=6 => Op::AddEdge(a, b),
+            _ => Op::RemoveEdge(a, b),
+        });
+        (Just(n), collection::vec(op, 0..160))
+    })
+}
+
+/// Multigraph edge lists over a fixed node count (self-loops and
+/// multi-edges included), for the reserved-mode and freeze properties.
+fn arb_edges() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as NodeId, 0..n as NodeId);
+        (Just(n), proptest::collection::vec(edge, 0..120))
+    })
+}
+
+/// Applies `ops` to an arena graph and a reference graph in lockstep,
+/// asserting agreement on every observable return value along the way.
+fn apply_ops(n: usize, ops: &[Op]) -> (Graph, ReferenceGraph) {
+    let mut g = Graph::with_nodes(n);
+    let mut r = ReferenceGraph::with_nodes(n);
+    for op in ops {
+        match *op {
+            Op::AddNode => assert_eq!(g.add_node(), r.add_node()),
+            Op::AddEdge(a, b) => {
+                let nn = g.num_nodes();
+                g.add_edge((a % nn) as NodeId, (b % nn) as NodeId);
+                r.add_edge((a % nn) as NodeId, (b % nn) as NodeId);
+            }
+            Op::RemoveEdge(a, b) => {
+                let nn = g.num_nodes();
+                let (u, v) = ((a % nn) as NodeId, (b % nn) as NodeId);
+                assert_eq!(g.remove_edge(u, v), r.remove_edge(u, v));
+            }
+        }
+    }
+    (g, r)
+}
+
+/// Full observable-state comparison: counts, per-node neighbor order,
+/// degree vector, edge sequence, JDM, and the structural validator.
+fn assert_same(g: &Graph, r: &ReferenceGraph) {
+    assert_eq!(g.num_nodes(), r.num_nodes());
+    assert_eq!(g.num_edges(), r.num_edges());
+    for u in 0..g.num_nodes() as NodeId {
+        assert_eq!(g.neighbors(u), r.neighbors(u), "neighbor list of node {u}");
+    }
+    assert_eq!(g.degree_vector(), r.degree_vector());
+    let ge: Vec<_> = g.edges().collect();
+    let re: Vec<_> = r.edges().collect();
+    assert_eq!(ge, re);
+    assert_eq!(jdm::of(g), jdm::of(r));
+    g.validate().expect("arena graph failed validation");
+}
+
+proptest! {
+    /// Random mutation interleavings leave both representations in
+    /// identical observable states (order included).
+    #[test]
+    fn random_ops_match_reference((n, ops) in arb_ops()) {
+        let (g, r) = apply_ops(n, &ops);
+        assert_same(&g, &r);
+    }
+
+    /// Freezing either representation yields the same CSR, and thawing
+    /// the CSR back through the order-preserving [`Graph::from_view`]
+    /// reproduces the arena graph exactly.
+    #[test]
+    fn freeze_round_trip_matches_reference((n, ops) in arb_ops()) {
+        let (g, r) = apply_ops(n, &ops);
+        let csr = g.freeze();
+        let csr_ref = CsrGraph::freeze(&r);
+        prop_assert_eq!(csr.num_nodes(), csr_ref.num_nodes());
+        prop_assert_eq!(csr.num_edges(), csr_ref.num_edges());
+        for u in 0..csr.num_nodes() as NodeId {
+            prop_assert_eq!(csr.neighbors(u), csr_ref.neighbors(u));
+        }
+        let thawed = Graph::from_view(&csr);
+        assert_same(&thawed, &r);
+    }
+
+    /// The pipeline's reserved construction mode (degrees known up
+    /// front) produces the same graph as naive unreserved insertion —
+    /// pre-sizing extents must never change what gets stored where.
+    #[test]
+    fn reserved_mode_matches_unreserved((n, edges) in arb_edges()) {
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in &edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut g = Graph::with_nodes(n);
+        g.reserve_neighbors(&degrees);
+        let mut r = ReferenceGraph::with_nodes(n);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+            r.add_edge(u, v);
+        }
+        assert_same(&g, &r);
+    }
+
+    /// Degree-preserving swap cycles — the rewiring engine's commit
+    /// sequence (remove, remove, add, add) — track the reference through
+    /// arbitrary pairings of the edge list.
+    #[test]
+    fn swap_cycles_match_reference((n, edges) in arb_edges()) {
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in &edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut g = Graph::with_nodes(n);
+        g.reserve_neighbors(&degrees);
+        let mut r = ReferenceGraph::with_nodes(n);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+            r.add_edge(u, v);
+        }
+        for pair in edges.chunks_exact(2) {
+            let ((a, b), (c, d)) = (pair[0], pair[1]);
+            assert_eq!(g.remove_edge(a, b), r.remove_edge(a, b));
+            assert_eq!(g.remove_edge(c, d), r.remove_edge(c, d));
+            g.add_edge(a, d);
+            r.add_edge(a, d);
+            g.add_edge(c, b);
+            r.add_edge(c, b);
+        }
+        assert_same(&g, &r);
+    }
+}
+
+/// After `reserve_neighbors` with the true target degrees, wiring every
+/// edge and then running degree-preserving swap cycles must perform ZERO
+/// heap allocations: occupancy never exceeds the reserved extents (the
+/// rewiring engine removes before it adds), so the tight layout never
+/// relocates. This is the arena's warm-path contract; the reference
+/// representation cannot make it (every node's first insertion
+/// allocates).
+#[test]
+fn warm_path_allocates_nothing_after_reserve() {
+    const N: usize = 64;
+    // Deterministic clustered-ish multigraph: rings at three strides,
+    // plus a few self-loops and repeated edges for the multigraph paths.
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..N as NodeId {
+        for stride in [1, 5, 9] {
+            edges.push((u, (u + stride) % N as NodeId));
+        }
+    }
+    for u in [3 as NodeId, 17, 42] {
+        edges.push((u, u)); // self-loop
+        edges.push((u, (u + 1) % N as NodeId)); // duplicate of stride-1 edge
+    }
+
+    let mut degrees = vec![0u32; N];
+    for &(u, v) in &edges {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+    }
+
+    let mut g = Graph::with_nodes(N);
+    g.reserve_neighbors(&degrees);
+    let (allocs, ()) = sgr_util::alloc::count_allocs(|| {
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+        }
+        // Rewiring-style commit cycles: remove, remove, add, add — the
+        // order that keeps per-node occupancy within the reserved caps.
+        for pair in edges.chunks_exact(2) {
+            let ((a, b), (c, d)) = (pair[0], pair[1]);
+            assert!(g.remove_edge(a, b));
+            assert!(g.remove_edge(c, d));
+            g.add_edge(a, d);
+            g.add_edge(c, b);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "reserved warm path allocated; the tight layout must not relocate"
+    );
+    g.validate().expect("graph invalid after swap cycles");
+    assert_eq!(g.num_edges(), edges.len());
+}

@@ -1,0 +1,161 @@
+//! A tracking global allocator for allocation-freedom tests and memory
+//! benchmarks.
+//!
+//! [`TrackingAlloc`] wraps [`System`] and maintains two kinds of
+//! accounting:
+//!
+//! * **Armed per-thread allocation counting** for zero-allocation proofs:
+//!   [`count_allocs`] runs a closure with counting armed on the calling
+//!   thread and returns how many `alloc`/`realloc` calls it made. This is
+//!   how the warm-path suites (stub matching, rewiring attempts, BFS
+//!   scratch, arena graph wiring) pin their "zero heap allocations"
+//!   claims.
+//! * **Process-wide live/peak byte accounting** for footprint
+//!   measurements: every allocation adds its *modeled heap chunk size*
+//!   (below) to a global live counter, every deallocation subtracts it,
+//!   and a high-water mark tracks the peak. `bench_construct` uses the
+//!   deltas to report measured `graph_bytes` / `peak_bytes` instead of
+//!   asserted ones.
+//!
+//! # The chunk model
+//!
+//! Requested bytes understate what a many-small-allocations layout really
+//! costs: a glibc-malloc chunk carries an 8-byte header and is rounded up
+//! to 16-byte alignment with a 32-byte minimum —
+//! `chunk(r) = max(32, round_to_16(r + 8))`. A graph storing one heap
+//! `Vec` per node pays that overhead a million times; a flat arena pays
+//! it a couple of times. The live/peak counters therefore account
+//! *chunk* bytes, so representation comparisons measured through this
+//! allocator reflect actual heap consumption rather than the sum of
+//! `Layout::size` requests. (The model is deterministic and documented
+//! precisely so the CI memory gate compares like with like across runs
+//! and hosts.)
+//!
+//! # Usage
+//!
+//! A global allocator must be installed by the *binary* (test, bench, or
+//! bin crate), not a library:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: sgr_util::alloc::TrackingAlloc = sgr_util::alloc::TrackingAlloc;
+//! ```
+//!
+//! Binaries that never install it can still call the query functions —
+//! the counters just stay at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracking global allocator: counts armed-thread allocations and
+/// accounts process-wide live/peak modeled-chunk bytes. See the module
+/// docs.
+pub struct TrackingAlloc;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Live modeled-chunk bytes across the whole process.
+static LIVE: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`LIVE`] since process start or the last
+/// [`reset_peak`].
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Modeled heap chunk size for a request of `req` bytes (glibc malloc:
+/// 8-byte header, 16-byte granularity, 32-byte minimum chunk).
+#[inline]
+pub fn chunk_size(req: usize) -> u64 {
+    ((req as u64 + 8).next_multiple_of(16)).max(32)
+}
+
+#[inline]
+fn on_alloc(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+#[inline]
+fn count_if_armed() {
+    if ARMED.with(|a| a.get()) {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+    }
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_if_armed();
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            on_alloc(chunk_size(layout.size()));
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        on_dealloc(chunk_size(layout.size()));
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_if_armed();
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            on_dealloc(chunk_size(layout.size()));
+            on_alloc(chunk_size(new_size));
+        }
+        p
+    }
+}
+
+/// Runs `f` with allocation counting armed on this thread; returns its
+/// allocation count (each `alloc` and `realloc` counts once) and result.
+pub fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    ALLOC_COUNT.with(|c| c.set(0));
+    ARMED.with(|a| a.set(true));
+    let r = f();
+    ARMED.with(|a| a.set(false));
+    (ALLOC_COUNT.with(|c| c.get()), r)
+}
+
+/// Current live modeled-chunk bytes across the process (0 unless
+/// [`TrackingAlloc`] is installed as the global allocator).
+pub fn live_model_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live modeled-chunk bytes since process start or the last
+/// [`reset_peak`].
+pub fn peak_model_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live level, so the next
+/// [`peak_model_bytes`] reading is the high-water mark of the region of
+/// interest alone.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_model_matches_documented_formula() {
+        assert_eq!(chunk_size(0), 32);
+        assert_eq!(chunk_size(1), 32);
+        assert_eq!(chunk_size(24), 32);
+        assert_eq!(chunk_size(25), 48); // 25 + 8 = 33 → 48
+        assert_eq!(chunk_size(40), 48);
+        assert_eq!(chunk_size(56), 64);
+        assert_eq!(chunk_size(1 << 20), (1 << 20) + 16);
+    }
+}

@@ -26,7 +26,12 @@
 //!   into one backing vector with per-class offset ranges, the layout the
 //!   stub-matching engine (`sgr_dk::construct`) keeps its free half-edge
 //!   pools in.
+//! * [`alloc`] — a tracking global allocator (armed per-thread allocation
+//!   counting + process-wide modeled live/peak heap bytes) behind the
+//!   zero-allocation warm-path suites and `bench_construct`'s measured
+//!   memory-footprint fields.
 
+pub mod alloc;
 pub mod arena;
 pub mod bucket;
 pub mod hash;
