@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 /// Parsed `--key value` options.
+#[derive(Debug)]
 pub struct Opts {
     map: BTreeMap<String, String>,
     /// Whether `--help` was requested.
@@ -12,8 +13,11 @@ pub struct Opts {
 }
 
 impl Opts {
-    /// Parses an option list; returns `Err(message)` on stray or
-    /// incomplete tokens.
+    /// Parses an option list; returns `Err(message)` on stray tokens,
+    /// incomplete pairs, repeated keys, or a value slot filled by another
+    /// `--option` token (a silently swallowed flag used to surface later
+    /// as a confusing type error, e.g. `--nodes --model hk` parsing as
+    /// `nodes = "--model"`).
     pub fn parse(argv: &[String]) -> Result<Self, String> {
         let mut map = BTreeMap::new();
         let mut help = false;
@@ -31,7 +35,15 @@ impl Opts {
             let Some(value) = argv.get(i + 1) else {
                 return Err(format!("missing value for --{stripped}"));
             };
-            map.insert(stripped.to_string(), value.clone());
+            if value.starts_with("--") {
+                return Err(format!(
+                    "missing value for --{stripped}: the next token {value:?} looks like \
+                     another option (values may not start with \"--\")"
+                ));
+            }
+            if map.insert(stripped.to_string(), value.clone()).is_some() {
+                return Err(format!("option --{stripped} given more than once"));
+            }
             i += 2;
         }
         Ok(Self { map, help })
@@ -109,5 +121,27 @@ mod tests {
     fn help_flag() {
         let o = Opts::parse(&argv(&["-h"])).unwrap();
         assert!(o.help);
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = Opts::parse(&argv(&["--seed", "1", "--seed", "2"])).unwrap_err();
+        assert!(err.contains("--seed"), "{err}");
+        assert!(err.contains("more than once"), "{err}");
+        // A single occurrence still parses.
+        assert!(Opts::parse(&argv(&["--seed", "1"])).is_ok());
+    }
+
+    #[test]
+    fn rejects_option_token_as_value() {
+        // The historic bug: `--nodes --model hk` parsed as
+        // nodes = "--model" plus a dangling "hk".
+        let err = Opts::parse(&argv(&["--nodes", "--model", "hk"])).unwrap_err();
+        assert!(err.contains("--nodes"), "{err}");
+        assert!(err.contains("--model"), "{err}");
+        // Negative numbers and single-dash tokens remain valid values.
+        let o = Opts::parse(&argv(&["--delta", "-3", "--file", "-"])).unwrap();
+        assert_eq!(o.get_req::<i64>("delta").unwrap(), -3);
+        assert_eq!(o.req("file").unwrap(), "-");
     }
 }

@@ -11,7 +11,8 @@ use sgr_core::{
 use sgr_graph::io::{read_edge_list_file, write_edge_list_file};
 use sgr_graph::Graph;
 use sgr_props::{PropsConfig, StructuralProperties, PROPERTY_NAMES};
-use sgr_sample::{bfs, forest_fire, random_walk, snowball, AccessModel, Crawl};
+use sgr_sample::{Crawl, CrawlSpec, WalkKind};
+use sgr_serve::{Client, JobStatus, ServeConfig, SubmitRequest};
 use sgr_util::Xoshiro256pp;
 
 /// Wraps a fallible command body: prints the typed error's diagnostic
@@ -172,31 +173,29 @@ fn parse_dataset(name: &str) -> Result<sgr_gen::Dataset, String> {
     })
 }
 
+/// `--fraction` / `--walk` / `--k` / `--pf` as a [`CrawlSpec`] — the same
+/// decoding `sgr submit` applies, so a submitted job and a local run
+/// crawl identically.
+fn crawl_spec(opts: &Opts) -> Result<CrawlSpec, String> {
+    let walk_name = opts.opt("walk").unwrap_or("rw");
+    let walk = WalkKind::from_name(walk_name).ok_or_else(|| format!("unknown walk {walk_name}"))?;
+    Ok(CrawlSpec {
+        walk,
+        fraction: opts.get_or("fraction", 0.1)?,
+        snowball_k: opts.get_or("k", 50usize)?,
+        burn_prob: opts.get_or("pf", 0.7)?,
+    })
+}
+
 fn do_crawl(g: &Graph, opts: &Opts, rng: &mut Xoshiro256pp) -> Result<Crawl, String> {
-    let fraction: f64 = opts.get_or("fraction", 0.1)?;
-    if !(0.0..=1.0).contains(&fraction) {
-        return Err("--fraction must be in [0, 1]".into());
-    }
-    let target = ((g.num_nodes() as f64 * fraction).round() as usize).max(1);
-    let mut am = AccessModel::new(g);
-    let seed_node = am.random_seed(rng);
-    let walk = opts.opt("walk").unwrap_or("rw");
-    let crawl = match walk {
-        "rw" => random_walk(&mut am, seed_node, target, rng),
-        "bfs" => bfs(&mut am, seed_node, target),
-        "snowball" => snowball(&mut am, seed_node, opts.get_or("k", 50usize)?, target, rng),
-        "ff" => forest_fire(&mut am, seed_node, opts.get_or("pf", 0.7)?, target, rng),
-        "nbrw" => sgr_sample::non_backtracking_walk(&mut am, seed_node, target, rng),
-        "mhrw" => sgr_sample::metropolis_hastings_walk(&mut am, seed_node, target, rng),
-        other => return Err(format!("unknown walk {other}")),
-    };
+    let outcome = sgr_sample::run_crawl(g, &crawl_spec(opts)?, rng)?;
     eprintln!(
         "crawled {} nodes ({} queries, {:.1}% of the graph)",
-        crawl.num_queried(),
-        am.query_calls(),
-        100.0 * am.queried_fraction()
+        outcome.crawl.num_queried(),
+        outcome.query_calls,
+        100.0 * outcome.queried_fraction
     );
-    Ok(crawl)
+    Ok(outcome.crawl)
 }
 
 /// `sgr crawl`.
@@ -305,6 +304,191 @@ pub fn resume(argv: &[String]) -> i32 {
             write_restored(&r, o.req("out")?, "resumed and wrote")
         },
     )
+}
+
+/// `sgr serve`.
+pub fn serve(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr serve --dir DIR [--listen ADDR=127.0.0.1:7070] [--workers N=2]
+  [--memory-budget BYTES] [--max-frame-bytes BYTES] [--checkpoint-every N]
+  [--max-threads N]
+  (--resume-dir DIR is an alias for --dir; either way the server re-adopts
+   every non-terminal job found under the state root on startup, resuming
+   from each job's newest durable checkpoint. Runs until a shutdown
+   request arrives over the wire.)";
+    run(
+        argv,
+        USAGE,
+        &[
+            "dir",
+            "resume-dir",
+            "listen",
+            "workers",
+            "memory-budget",
+            "max-frame-bytes",
+            "checkpoint-every",
+            "max-threads",
+        ],
+        |o| {
+            let dir = match (o.opt("dir"), o.opt("resume-dir")) {
+                (Some(_), Some(_)) => {
+                    return Err(CliError::Usage(
+                        "--dir and --resume-dir are aliases; give exactly one".into(),
+                    ))
+                }
+                (Some(d), None) | (None, Some(d)) => d.to_string(),
+                (None, None) => {
+                    return Err(CliError::Usage(
+                        "missing required option --dir (or --resume-dir)".into(),
+                    ))
+                }
+            };
+            let defaults = ServeConfig::default();
+            let cfg = ServeConfig {
+                addr: o.opt("listen").unwrap_or(&defaults.addr).to_string(),
+                workers: o.get_or("workers", defaults.workers)?,
+                dir: PathBuf::from(&dir),
+                max_frame_bytes: o.get_or("max-frame-bytes", defaults.max_frame_bytes)?,
+                memory_budget: o.get_or("memory-budget", defaults.memory_budget)?,
+                default_checkpoint_every: o
+                    .get_or("checkpoint-every", defaults.default_checkpoint_every)?,
+                max_threads_per_job: o.get_or("max-threads", defaults.max_threads_per_job)?,
+            };
+            let workers = cfg.workers.max(1);
+            let handle = sgr_serve::start(cfg).map_err(|e| CliError::io(&dir, e))?;
+            eprintln!(
+                "sgr serve: listening on {} ({workers} workers, state root {dir})",
+                handle.addr()
+            );
+            handle.join();
+            eprintln!("sgr serve: shut down");
+            Ok(())
+        },
+    )
+}
+
+/// Connects to the job server named by `--addr`.
+fn connect(o: &Opts) -> Result<Client, CliError> {
+    Ok(Client::connect(o.req("addr")?)?)
+}
+
+/// `sgr submit`.
+pub fn submit(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr submit --addr HOST:PORT --graph FILE
+  [--fraction F=0.1] [--walk rw|bfs|snowball|ff|nbrw|mhrw] [--k 50] [--pf 0.7]
+  [--rc 500] [--no-rewire true] [--threads N=1] [--seed N=42] [--tenant NAME]
+  [--checkpoint-every N] [--abort-after N]
+  (submits a crawl-and-restore job; the fetched result is byte-identical
+   to `sgr restore` on the same inputs and seed. The job id is printed on
+   stdout. --abort-after is a fault-injection hook: simulate a crash
+   after N checkpoints.)";
+    run(
+        argv,
+        USAGE,
+        &[
+            "addr",
+            "graph",
+            "fraction",
+            "walk",
+            "k",
+            "pf",
+            "rc",
+            "no-rewire",
+            "threads",
+            "seed",
+            "tenant",
+            "checkpoint-every",
+            "abort-after",
+        ],
+        |o| {
+            let spec = crawl_spec(o)?;
+            let path = o.req("graph")?;
+            let edges = std::fs::read(path).map_err(|e| CliError::io(path, e))?;
+            let req = SubmitRequest {
+                tenant: o.opt("tenant").unwrap_or("").to_string(),
+                walk_code: spec.walk.code(),
+                fraction: spec.fraction,
+                snowball_k: spec.snowball_k as u64,
+                burn_prob: spec.burn_prob,
+                rewiring_coefficient: o.get_or("rc", 500.0)?,
+                rewire: !o.get_or("no-rewire", false)?,
+                threads: o.get_or("threads", 1u64)?,
+                seed: o.get_or("seed", 42u64)?,
+                checkpoint_every: o.get_or("checkpoint-every", 0u64)?,
+                abort_after: o.get_or("abort-after", 0u64)?,
+                edges,
+            };
+            let id = connect(o)?.submit(&req)?;
+            println!("{id}");
+            eprintln!("submitted job {id}");
+            Ok(())
+        },
+    )
+}
+
+fn print_status(s: &JobStatus) {
+    let tenant = if s.tenant.is_empty() { "-" } else { &s.tenant };
+    print!(
+        "job {} tenant={tenant} state={} stage={} attempts={}/{} checkpoints={}",
+        s.id,
+        s.state.name(),
+        if s.stage.is_empty() { "-" } else { &s.stage },
+        s.attempts_done,
+        s.attempts_total,
+        s.checkpoints
+    );
+    if s.nodes > 0 {
+        print!(" n={} m={}", s.nodes, s.edges);
+    }
+    if s.message.is_empty() {
+        println!();
+    } else {
+        println!(" ({})", s.message);
+    }
+}
+
+/// `sgr status`.
+pub fn status(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr status --addr HOST:PORT [--job N]
+  (one line per job: lifecycle state, pipeline stage, committed rewiring
+   attempts, checkpoints; omit --job to list every job)";
+    run(argv, USAGE, &["addr", "job"], |o| {
+        let mut client = connect(o)?;
+        match o.opt("job") {
+            Some(_) => print_status(&client.status(o.get_req("job")?)?),
+            None => {
+                for s in client.list()? {
+                    print_status(&s);
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// `sgr fetch`.
+pub fn fetch(argv: &[String]) -> i32 {
+    const USAGE: &str = "sgr fetch --addr HOST:PORT --job N --out FILE.sgrsnap [--edges FILE]
+  (writes the completed job's restored graph as a CSR snapshot — the
+   fetched bytes ARE the snapshot container, usable with `sgr load` —
+   and optionally thaws it to an edge-list file)";
+    run(argv, USAGE, &["addr", "job", "out", "edges"], |o| {
+        let job: u64 = o.get_req("job")?;
+        let out = o.req("out")?;
+        let bytes = connect(o)?.fetch(job)?;
+        std::fs::write(out, &bytes).map_err(|e| CliError::io(out, e))?;
+        eprintln!("fetched job {job} -> {out} ({} bytes)", bytes.len());
+        if let Some(edges) = o.opt("edges") {
+            let csr = sgr_graph::snapshot::read_csr(out).map_err(|e| CliError::io(out, e))?;
+            let g = csr.thaw();
+            write_edge_list_file(&g, edges).map_err(|e| CliError::io(edges, e))?;
+            eprintln!(
+                "wrote {edges}: n = {}, m = {}",
+                g.num_nodes(),
+                g.num_edges()
+            );
+        }
+        Ok(())
+    })
 }
 
 /// `sgr props`.

@@ -25,6 +25,9 @@ pub enum CliError {
     /// failures (corrupted, truncated, wrong version) arrive here as
     /// [`sgr_core::RestoreError::Snapshot`].
     Restore(sgr_core::RestoreError),
+    /// A job-server request failed (connection refused, protocol error,
+    /// or a typed server-side rejection) — exits `1`.
+    Server(sgr_serve::ClientError),
 }
 
 impl CliError {
@@ -40,7 +43,7 @@ impl CliError {
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Io { .. } | CliError::Restore(_) => 1,
+            CliError::Io { .. } | CliError::Restore(_) | CliError::Server(_) => 1,
         }
     }
 }
@@ -51,6 +54,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Restore(e) => write!(f, "restore failed: {e}"),
+            CliError::Server(e) => write!(f, "job server: {e}"),
         }
     }
 }
@@ -61,6 +65,7 @@ impl std::error::Error for CliError {
             CliError::Usage(_) => None,
             CliError::Io { source, .. } => Some(source.as_ref()),
             CliError::Restore(e) => Some(e),
+            CliError::Server(e) => Some(e),
         }
     }
 }
@@ -74,5 +79,11 @@ impl From<String> for CliError {
 impl From<sgr_core::RestoreError> for CliError {
     fn from(e: sgr_core::RestoreError) -> Self {
         CliError::Restore(e)
+    }
+}
+
+impl From<sgr_serve::ClientError> for CliError {
+    fn from(e: sgr_serve::ClientError) -> Self {
+        CliError::Server(e)
     }
 }

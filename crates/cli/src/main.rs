@@ -6,6 +6,10 @@
 //! sgr crawl    --graph g.edges --fraction 0.1 --walk rw --out crawl.edges
 //! sgr restore  --graph g.edges --fraction 0.1 --rc 500 --out restored.edges
 //! sgr resume   --checkpoint ckpt/ckpt-0003-constructed.sgrsnap --out restored.edges
+//! sgr serve    --dir jobs/ --listen 127.0.0.1:7070 --workers 4
+//! sgr submit   --addr 127.0.0.1:7070 --graph g.edges --seed 42
+//! sgr status   --addr 127.0.0.1:7070 --job 1
+//! sgr fetch    --addr 127.0.0.1:7070 --job 1 --out job1.sgrsnap --edges job1.edges
 //! sgr props    --graph restored.edges
 //! sgr compare  --original g.edges --generated restored.edges
 //! sgr dissim   --original g.edges --generated restored.edges
@@ -27,6 +31,10 @@ fn main() {
         Some("crawl") => commands::crawl(&argv[1..]),
         Some("restore") => commands::restore(&argv[1..]),
         Some("resume") => commands::resume(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
+        Some("submit") => commands::submit(&argv[1..]),
+        Some("status") => commands::status(&argv[1..]),
+        Some("fetch") => commands::fetch(&argv[1..]),
         Some("props") => commands::props(&argv[1..]),
         Some("compare") => commands::compare(&argv[1..]),
         Some("dissim") => commands::dissim(&argv[1..]),
@@ -57,6 +65,10 @@ SUBCOMMANDS:
   crawl      crawl a hidden graph and write the induced subgraph
   restore    crawl + restore; write the generated graph
   resume     continue an interrupted restore from a checkpoint file
+  serve      run the restoration job server (TCP, resumable jobs)
+  submit     submit a crawl-and-restore job to a running server
+  status     poll job status (stage, rewiring progress) from a server
+  fetch      download a completed job's restored graph snapshot
   props      print the 12 structural properties of a graph
   compare    L1 distances of the 12 properties between two graphs
   dissim     Schieber et al. network dissimilarity of two graphs

@@ -33,6 +33,30 @@
 //!
 //! Every slice length is cross-validated on load; any inconsistency is a
 //! typed [`SnapshotError::Corrupt`], never a panic.
+//!
+//! ## Durability contract
+//!
+//! The fault-injection suite (`checkpoint_resume.rs`) simulates a crash
+//! *after* a checkpoint write returns; the container guarantees make that
+//! simulation honest. Precisely: when `write_section` returns `Ok`,
+//!
+//! 1. **the checkpoint's bytes are on stable storage** — the temp file is
+//!    fsynced before the rename, so the content cannot be lost to a
+//!    subsequent power failure;
+//! 2. **the checkpoint's *name* is on stable storage** — the parent
+//!    directory is fsynced after the rename, so the file cannot vanish
+//!    from the directory on power loss (a bare atomic rename only
+//!    guarantees readers never observe a half-written file; without the
+//!    directory fsync the rename itself may still be undone by a crash);
+//! 3. **the previous checkpoint was never at risk** — the rename replaces
+//!    it atomically, so at every instant at least one complete, valid
+//!    checkpoint exists under a deterministic name.
+//!
+//! A crash at any point therefore leaves either the old file, the new
+//! file, or both (new under its final name, stale `.tmp` sibling) — never
+//! nothing and never a torn file. Resumption needs only the newest
+//! complete checkpoint; the `sgr serve` job server's adoption scan relies
+//! on the same contract for its job-state records.
 
 use std::path::Path;
 

@@ -263,12 +263,43 @@ impl CheckpointPolicy {
     }
 }
 
-/// The pipeline driver: configuration, checkpoint policy, and the stats
-/// accumulated across stages (and, on resume, across processes).
+/// Observer of staged-pipeline progress, for long-running hosts (the
+/// `sgr serve` job server) that report "stage, committed rewiring
+/// attempts, stats so far" to remote clients while a restoration runs.
+///
+/// All methods have empty defaults; implementations must be cheap — they
+/// run on the pipeline thread, between rewiring chunks. The observer
+/// never influences results: it receives immutable views only, and the
+/// pipeline consumes the identical RNG stream whether or not one is
+/// attached (pinned by the server determinism suite).
+pub trait PipelineObserver {
+    /// A pipeline stage (`estimate`, `target`, `construct`, `rewire`) is
+    /// about to run. On resume, fires for the stage being re-entered.
+    fn stage_started(&mut self, _stage: &'static str) {}
+
+    /// A rewiring chunk committed: `done` of `total` attempts are in,
+    /// with the cumulative stats so far (including restored-from-
+    /// checkpoint history).
+    fn rewire_progress(&mut self, _done: u64, _total: u64, _stats: &RestoreStats) {}
+
+    /// A checkpoint was persisted durably at `path`.
+    fn checkpoint_written(&mut self, _path: &Path, _stats: &RestoreStats) {}
+}
+
+/// The do-nothing observer behind the plain (non-`_observed`) entry
+/// points.
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}
+
+/// The pipeline driver: configuration, checkpoint policy, progress
+/// observer, and the stats accumulated across stages (and, on resume,
+/// across processes).
 struct Driver<'a> {
     cfg: RestoreConfig,
     policy: Option<&'a CheckpointPolicy>,
     stats: RestoreStats,
+    observer: &'a mut dyn PipelineObserver,
 }
 
 impl Driver<'_> {
@@ -304,6 +335,7 @@ impl Driver<'_> {
             &stage,
         )?;
         self.stats.checkpoint_secs += t.elapsed().as_secs_f64();
+        self.observer.checkpoint_written(&path, &self.stats);
         if policy.abort_after == Some(self.stats.checkpoints_written) {
             return Err(RestoreError::Interrupted { checkpoint: path });
         }
@@ -328,6 +360,7 @@ fn stage_target(
     estimates: &Estimates,
     rng: &mut Xoshiro256pp,
 ) -> Result<(TargetDv, TargetJdm), RestoreError> {
+    driver.observer.stage_started("target");
     let t = Instant::now();
     let mut dv = target_dv::build(subgraph, estimates, rng);
     let jdm = target_jdm::build(subgraph, estimates, &mut dv)?;
@@ -355,6 +388,7 @@ fn stage_construct(
     rng: &mut Xoshiro256pp,
     scratch: &mut sgr_dk::ConstructScratch,
 ) -> Result<ConstructedStage, RestoreError> {
+    driver.observer.stage_started("construct");
     let t = Instant::now();
     let built = construct::extend_subgraph_with(subgraph, dv, jdm, rng, scratch)?;
     driver.stats.construct_secs += t.elapsed().as_secs_f64();
@@ -475,6 +509,7 @@ fn run_rewire_loop(
     total: u64,
     rng: &mut Xoshiro256pp,
 ) -> Result<Graph, RestoreError> {
+    driver.observer.stage_started("rewire");
     loop {
         let done = driver.stats.rewire_stats.attempts;
         let remaining = total - done;
@@ -492,6 +527,9 @@ fn run_rewire_loop(
         driver.stats.rewire_stats.accepted += s.accepted;
         driver.stats.rewire_stats.skipped += s.skipped;
         driver.stats.rewire_stats.final_distance = s.final_distance;
+        driver
+            .observer
+            .rewire_progress(driver.stats.rewire_stats.attempts, total, &driver.stats);
         if driver.stats.rewire_stats.attempts >= total {
             return Ok(engine.into_graph());
         }
@@ -590,6 +628,7 @@ fn restore_impl(
     rng: &mut Xoshiro256pp,
     scratch: &mut sgr_dk::ConstructScratch,
     policy: Option<&CheckpointPolicy>,
+    observer: &mut dyn PipelineObserver,
 ) -> Result<Restored, RestoreError> {
     if crawl.num_queried() == 0 {
         return Err(RestoreError::EmptyCrawl);
@@ -598,8 +637,10 @@ fn restore_impl(
         cfg: *cfg,
         policy,
         stats: RestoreStats::default(),
+        observer,
     };
     // Stage 1: estimation + subgraph induction (consumes no RNG).
+    driver.observer.stage_started("estimate");
     let t = Instant::now();
     let estimates = estimate_all(crawl)?;
     let subgraph = crawl.subgraph();
@@ -629,7 +670,7 @@ pub fn restore_with(
     rng: &mut Xoshiro256pp,
     scratch: &mut sgr_dk::ConstructScratch,
 ) -> Result<Restored, RestoreError> {
-    restore_impl(crawl, cfg, rng, scratch, None)
+    restore_impl(crawl, cfg, rng, scratch, None, &mut NoopObserver)
 }
 
 /// [`restore_with`] under a [`CheckpointPolicy`]: identical results (the
@@ -642,7 +683,21 @@ pub fn restore_with_checkpoints(
     scratch: &mut sgr_dk::ConstructScratch,
     policy: &CheckpointPolicy,
 ) -> Result<Restored, RestoreError> {
-    restore_impl(crawl, cfg, rng, scratch, Some(policy))
+    restore_impl(crawl, cfg, rng, scratch, Some(policy), &mut NoopObserver)
+}
+
+/// [`restore_with_checkpoints`] with a [`PipelineObserver`] attached:
+/// identical results (the observer only receives notifications), plus
+/// live stage/progress callbacks for long-running hosts.
+pub fn restore_with_checkpoints_observed(
+    crawl: &Crawl,
+    cfg: &RestoreConfig,
+    rng: &mut Xoshiro256pp,
+    scratch: &mut sgr_dk::ConstructScratch,
+    policy: &CheckpointPolicy,
+    observer: &mut dyn PipelineObserver,
+) -> Result<Restored, RestoreError> {
+    restore_impl(crawl, cfg, rng, scratch, Some(policy), observer)
 }
 
 /// Continues an interrupted restoration from a checkpoint file, producing
@@ -659,6 +714,20 @@ pub fn resume_from_checkpoint(
     policy: Option<&CheckpointPolicy>,
     scratch: &mut sgr_dk::ConstructScratch,
 ) -> Result<Restored, RestoreError> {
+    resume_from_checkpoint_observed(path, threads, policy, scratch, &mut NoopObserver)
+}
+
+/// [`resume_from_checkpoint`] with a [`PipelineObserver`] attached —
+/// same bitwise-identical resume guarantee, plus live progress
+/// callbacks (the `sgr serve` job server resumes adopted jobs through
+/// this).
+pub fn resume_from_checkpoint_observed(
+    path: &Path,
+    threads: Option<usize>,
+    policy: Option<&CheckpointPolicy>,
+    scratch: &mut sgr_dk::ConstructScratch,
+    observer: &mut dyn PipelineObserver,
+) -> Result<Restored, RestoreError> {
     let ckpt = checkpoint::read_checkpoint(path)?;
     let mut cfg = ckpt.cfg;
     if let Some(t) = threads {
@@ -669,6 +738,7 @@ pub fn resume_from_checkpoint(
         cfg,
         policy,
         stats: ckpt.stats,
+        observer,
     };
     let subgraph = ckpt.subgraph;
     let estimates = ckpt.estimates;

@@ -45,9 +45,25 @@
 //! trailing zero bytes. This is an *integrity* check against torn writes
 //! and bit rot, not an authentication code.
 //!
-//! **Atomicity.** [`write_section`] writes to a `<path>.tmp` sibling and
-//! renames over the destination, so a crash mid-write can leave a stale
-//! temp file but never a half-written snapshot under the final name.
+//! **Atomicity and durability.** [`write_section`] writes to a
+//! `<path>.tmp` sibling, fsyncs the file, renames over the destination,
+//! and then fsyncs the **parent directory**, so a crash mid-write can
+//! leave a stale temp file but never a half-written snapshot under the
+//! final name — and once `write_section` returns, the rename itself is
+//! durable. (Without the directory fsync the rename lives only in the
+//! in-memory dentry cache: a power loss after "successful" persistence
+//! could make the snapshot vanish entirely, the failure mode the
+//! checkpoint fault-injection suite's durability contract rules out; see
+//! `sgr_core::checkpoint`.)
+//!
+//! **Bounded reads.** [`read_section`] reads and validates the 32-byte
+//! header *before* touching the payload: a garbage or adversarial file —
+//! for example a multi-GiB blob arriving over a socket and spooled to
+//! disk — fails on [`SnapshotError::BadMagic`] after at most 32 bytes,
+//! and the payload read is bounded by the declared `payload_len`
+//! cross-checked against the file's actual size. A `payload_len` that
+//! does not even fit in `usize` is structurally impossible content and
+//! is reported as [`SnapshotError::Corrupt`], not `Truncated`.
 //!
 //! **Payload encoding.** Payloads are built from LE primitives via
 //! [`PayloadWriter`] / [`PayloadReader`]: `u32`/`u64` scalars, `f64`
@@ -81,6 +97,14 @@ pub const KIND_CSR_GRAPH: u32 = 1;
 
 /// Payload kind: a restoration-pipeline checkpoint (`sgr_core::checkpoint`).
 pub const KIND_RESTORE_CHECKPOINT: u32 = 2;
+
+/// Payload kind: a restoration-job specification persisted (and shipped
+/// over the wire) by the `sgr serve` job server (`sgr_serve::job`).
+pub const KIND_JOB_SPEC: u32 = 3;
+
+/// Payload kind: a terminal job-state record (completed/failed status and
+/// final counters) persisted by the `sgr serve` job server.
+pub const KIND_JOB_STATE: u32 = 4;
 
 const CHECKSUM_SEED: u64 = 0x5347_5253_4e41_5021;
 
@@ -161,71 +185,182 @@ pub fn checksum(payload: &[u8]) -> u64 {
     h
 }
 
-/// Writes `payload` under the snapshot container format, atomically: the
-/// bytes go to a `<path>.tmp` sibling which is then renamed over `path`.
+/// The decoded fields of a section header.
+#[derive(Clone, Copy, Debug)]
+pub struct SectionHeader {
+    /// Payload kind discriminator.
+    pub kind: u32,
+    /// Declared payload byte length.
+    pub payload_len: u64,
+    /// Declared payload checksum.
+    pub checksum: u64,
+}
+
+/// Builds the full section byte stream (header + payload) for `payload`
+/// under `kind` — the exact bytes [`write_section`] persists, exposed so
+/// the same container can travel over a socket as a wire payload.
+pub fn encode_section(kind: u32, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&kind.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Writes `payload` under the snapshot container format, atomically and
+/// durably: the bytes go to a `<path>.tmp` sibling which is fsynced and
+/// renamed over `path`, and the parent directory is fsynced afterwards so
+/// the rename survives a crash (see the module docs).
 pub fn write_section<P: AsRef<Path>>(
     path: P,
     kind: u32,
     payload: &[u8],
 ) -> Result<(), SnapshotError> {
     let path = path.as_ref();
-    let mut header = Vec::with_capacity(HEADER_LEN);
-    header.extend_from_slice(&MAGIC);
-    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    header.extend_from_slice(&kind.to_le_bytes());
-    header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    header.extend_from_slice(&checksum(payload).to_le_bytes());
-    debug_assert_eq!(header.len(), HEADER_LEN);
-
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
         let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-        file.write_all(&header)?;
-        file.write_all(payload)?;
+        file.write_all(&encode_section(kind, payload))?;
         file.flush()?;
         file.get_ref().sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
     Ok(())
 }
 
-/// Reads and verifies a snapshot file, returning its payload. The header
-/// must carry the expected `kind`; every corruption mode maps to its
-/// [`SnapshotError`] variant.
-pub fn read_section<P: AsRef<Path>>(path: P, kind: u32) -> Result<Vec<u8>, SnapshotError> {
-    let bytes = std::fs::read(path)?;
-    if bytes.len() < HEADER_LEN {
-        // A short file that does not even carry the magic is still
-        // classified by what fails first: magic, then length.
-        if bytes.len() >= 8 && bytes[..8] != MAGIC {
+/// Fsyncs the directory containing `path`, making a just-completed rename
+/// durable. On platforms where directories cannot be opened as files
+/// (non-Unix), this is a no-op — the atomicity guarantee still holds,
+/// only the power-loss durability window widens to the OS flush cadence.
+fn sync_parent_dir(path: &Path) -> Result<(), SnapshotError> {
+    #[cfg(unix)]
+    {
+        // An empty parent means a bare relative filename: the containing
+        // directory is the CWD.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+/// Parses and validates the fixed 32-byte header against the expected
+/// `kind`. `got` is how many header bytes could actually be read; short
+/// reads are classified by what fails first (magic, then length), so a
+/// text file and a truncated snapshot report distinct errors.
+fn parse_header(
+    buf: &[u8; HEADER_LEN],
+    got: usize,
+    kind: u32,
+) -> Result<SectionHeader, SnapshotError> {
+    if got < HEADER_LEN {
+        if got >= 8 && buf[..8] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        if bytes.len() < 8 && !MAGIC.starts_with(&bytes) {
+        if got < 8 && !MAGIC.starts_with(&buf[..got]) {
             return Err(SnapshotError::BadMagic);
         }
         return Err(SnapshotError::Truncated);
     }
-    if bytes[..8] != MAGIC {
+    if buf[..8] != MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
     if version != FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
-    let found_kind = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let found_kind = u32::from_le_bytes(buf[12..16].try_into().unwrap());
     if found_kind != kind {
         return Err(SnapshotError::KindMismatch {
             expected: kind,
             found: found_kind,
         });
     }
-    let payload_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
-    let stored_sum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
-    let body = &bytes[HEADER_LEN..];
-    let Ok(payload_len) = usize::try_from(payload_len) else {
+    Ok(SectionHeader {
+        kind: found_kind,
+        payload_len: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+        checksum: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+    })
+}
+
+/// Reads and verifies a snapshot file, returning its payload. The header
+/// must carry the expected `kind`; every corruption mode maps to its
+/// [`SnapshotError`] variant.
+///
+/// The read is **header-first and bounded**: the 32-byte header is read
+/// and fully validated before any payload byte, and the payload read is
+/// sized by the declared length cross-checked against the file's actual
+/// size — a garbage multi-GiB file fails on `BadMagic` after 32 bytes
+/// instead of being slurped whole, and a header declaring more payload
+/// than the file holds fails on `Truncated` without allocating the
+/// declared amount.
+pub fn read_section<P: AsRef<Path>>(path: P, kind: u32) -> Result<Vec<u8>, SnapshotError> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0;
+    while got < HEADER_LEN {
+        match file.read(&mut header[got..])? {
+            0 => break,
+            n => got += n,
+        }
+    }
+    let decoded = parse_header(&header, got, kind)?;
+    // `payload_len` wider than the address space cannot describe real
+    // content on this host: structurally invalid, not merely truncated.
+    let Ok(payload_len) = usize::try_from(decoded.payload_len) else {
+        return Err(SnapshotError::Corrupt(format!(
+            "declared payload length {} overflows usize",
+            decoded.payload_len
+        )));
+    };
+    let body_len = file.metadata()?.len().saturating_sub(HEADER_LEN as u64);
+    if body_len < decoded.payload_len {
         return Err(SnapshotError::Truncated);
+    }
+    if body_len > decoded.payload_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after declared payload",
+            body_len - decoded.payload_len
+        )));
+    }
+    let mut body = vec![0u8; payload_len];
+    file.read_exact(&mut body).map_err(|e| match e.kind() {
+        // The file shrank between the size probe and the read.
+        std::io::ErrorKind::UnexpectedEof => SnapshotError::Truncated,
+        _ => SnapshotError::Io(e),
+    })?;
+    if checksum(&body) != decoded.checksum {
+        return Err(SnapshotError::ChecksumMismatch);
+    }
+    Ok(body)
+}
+
+/// Verifies an in-memory section byte stream (header + payload), as
+/// received over a socket, returning the payload slice. Same validation
+/// and error classification as [`read_section`]; the caller has already
+/// bounded the allocation by framing the transfer.
+pub fn decode_section(bytes: &[u8], kind: u32) -> Result<&[u8], SnapshotError> {
+    let mut header = [0u8; HEADER_LEN];
+    let got = bytes.len().min(HEADER_LEN);
+    header[..got].copy_from_slice(&bytes[..got]);
+    let decoded = parse_header(&header, got, kind)?;
+    let body = &bytes[HEADER_LEN..];
+    let Ok(payload_len) = usize::try_from(decoded.payload_len) else {
+        return Err(SnapshotError::Corrupt(format!(
+            "declared payload length {} overflows usize",
+            decoded.payload_len
+        )));
     };
     if body.len() < payload_len {
         return Err(SnapshotError::Truncated);
@@ -236,10 +371,10 @@ pub fn read_section<P: AsRef<Path>>(path: P, kind: u32) -> Result<Vec<u8>, Snaps
             body.len() - payload_len
         )));
     }
-    if checksum(body) != stored_sum {
+    if checksum(body) != decoded.checksum {
         return Err(SnapshotError::ChecksumMismatch);
     }
-    Ok(body.to_vec())
+    Ok(body)
 }
 
 /// Little-endian payload builder; the write-side half of the encoding
@@ -303,6 +438,17 @@ impl PayloadWriter {
         for &v in vs {
             self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
         }
+    }
+
+    /// Appends a length-prefixed raw byte blob.
+    pub fn put_byte_slice(&mut self, vs: &[u8]) {
+        self.put_u64(vs.len() as u64);
+        self.buf.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_byte_slice(s.as_bytes());
     }
 }
 
@@ -413,6 +559,18 @@ impl<'a> PayloadReader<'a> {
             .into_iter()
             .map(f64::from_bits)
             .collect())
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    pub fn get_byte_slice(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string (rejecting invalid UTF-8).
+    pub fn get_str(&mut self) -> Result<String, SnapshotError> {
+        String::from_utf8(self.get_byte_slice()?)
+            .map_err(|_| SnapshotError::Corrupt("string field is not valid UTF-8".into()))
     }
 }
 
@@ -721,6 +879,108 @@ mod tests {
         r.finish().unwrap();
         let r = PayloadReader::new(&bytes);
         assert!(matches!(r.finish().unwrap_err(), SnapshotError::Corrupt(_)));
+    }
+
+    /// A header declaring far more payload than the file holds must fail
+    /// on `Truncated` *without* attempting to read (or allocate) the
+    /// declared amount — the read is bounded by the real file size.
+    #[test]
+    fn huge_declared_payload_is_truncated_without_allocation() {
+        let path = tmp("huge_decl.snap");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&KIND_CSR_GRAPH.to_le_bytes());
+        bytes.extend_from_slice(&(1u64 << 42).to_le_bytes()); // 4 TiB declared
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(b"tiny actual body");
+        std::fs::write(&path, &bytes).unwrap();
+        let t = std::time::Instant::now();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::Truncated
+        ));
+        // Would take far longer than this if 4 TiB were being zeroed.
+        assert!(t.elapsed().as_secs() < 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A large non-snapshot file fails on the magic after reading only
+    /// the header — the whole point of the header-first read. The file is
+    /// sparse, so the test is cheap while the old slurp-first behavior
+    /// would have materialized gigabytes.
+    #[test]
+    #[cfg(unix)]
+    fn large_garbage_file_fails_fast_on_magic() {
+        let path = tmp("garbage_big.snap");
+        let f = std::fs::File::create(&path).unwrap();
+        f.set_len(8 << 30).unwrap(); // 8 GiB hole, zero bytes ≠ magic
+        drop(f);
+        let t = std::time::Instant::now();
+        assert!(matches!(
+            read_csr(&path).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        assert!(t.elapsed().as_secs() < 5, "header-first read regressed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_section_roundtrip_and_errors() {
+        let payload = b"wire payload".to_vec();
+        let bytes = encode_section(KIND_JOB_SPEC, &payload);
+        assert_eq!(decode_section(&bytes, KIND_JOB_SPEC).unwrap(), &payload[..]);
+        // Wrong kind.
+        assert!(matches!(
+            decode_section(&bytes, KIND_CSR_GRAPH).unwrap_err(),
+            SnapshotError::KindMismatch { .. }
+        ));
+        // Truncated stream.
+        assert!(matches!(
+            decode_section(&bytes[..bytes.len() - 1], KIND_JOB_SPEC).unwrap_err(),
+            SnapshotError::Truncated
+        ));
+        // Flipped payload byte.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        assert!(matches!(
+            decode_section(&flipped, KIND_JOB_SPEC).unwrap_err(),
+            SnapshotError::ChecksumMismatch
+        ));
+        // Not a container at all.
+        assert!(matches!(
+            decode_section(b"hello", KIND_JOB_SPEC).unwrap_err(),
+            SnapshotError::BadMagic
+        ));
+        // encode_section bytes are exactly what write_section persists.
+        let path = tmp("encode_matches_disk.snap");
+        write_section(&path, KIND_JOB_SPEC, &payload).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn byte_and_string_payload_fields_roundtrip() {
+        let mut w = PayloadWriter::new();
+        w.put_byte_slice(b"\x00\xFFraw");
+        w.put_str("tenant-α");
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert_eq!(r.get_byte_slice().unwrap(), b"\x00\xFFraw");
+        assert_eq!(r.get_str().unwrap(), "tenant-α");
+        assert_eq!(r.get_str().unwrap(), "");
+        r.finish().unwrap();
+        // Invalid UTF-8 in a string field is Corrupt.
+        let mut w = PayloadWriter::new();
+        w.put_byte_slice(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        assert!(matches!(
+            r.get_str().unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
     }
 
     #[test]

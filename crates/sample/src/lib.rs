@@ -27,6 +27,12 @@
 //! [`Subgraph`] (`G'` in the paper, §III-D) is induced from the union of
 //! the queried nodes' edge sets.
 //!
+//! Front ends don't call the crawlers directly: [`strategy`] packages a
+//! crawler choice plus its parameters into a [`CrawlSpec`] and
+//! [`run_crawl`] dispatches it under a pinned RNG discipline, so the CLI
+//! and the `sgr serve` job server produce bit-identical crawls from the
+//! same seed.
+//!
 //! Real crawls also fail: [`fault`] adds a deterministic failure model
 //! ([`FlakyAccessModel`] injecting transient and rate-limit faults) and
 //! bounded retry with exponential backoff; [`try_random_walk`] is the
@@ -36,6 +42,7 @@
 pub mod access;
 pub mod crawl;
 pub mod fault;
+pub mod strategy;
 pub mod subgraph;
 pub mod walks;
 
@@ -44,6 +51,7 @@ pub use crawl::{bfs, forest_fire, snowball, Crawl};
 pub use fault::{
     query_with_retry, CrawlError, FlakyAccessModel, NeighborSource, QueryFault, RetryPolicy,
 };
+pub use strategy::{run_crawl, CrawlOutcome, CrawlSpec, WalkKind};
 pub use subgraph::Subgraph;
 pub use walks::{
     metropolis_hastings_walk, non_backtracking_walk, random_walk, random_walk_until_fraction,
